@@ -1,0 +1,267 @@
+package haralick4d
+
+// The benchmark harness regenerates every figure of the paper's evaluation
+// section (there are no tables): Figures 7a, 7b, 8, 9, 10 and 11, the two
+// quantified in-text claims (sparse density, zero-skip speedup), the IIC
+// replication observation, and the design-choice ablations from DESIGN.md.
+// Each figure bench executes its complete experiment on the simulated
+// cluster at the tiny scale and logs the regenerated series (run with
+// `go test -bench=. -benchmem -v` to see them); cmd/experiments regenerates
+// the same figures at larger scales.
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"haralick4d/internal/core"
+	"haralick4d/internal/experiments"
+	"haralick4d/internal/features"
+	"haralick4d/internal/glcm"
+	"haralick4d/internal/volume"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+	benchEnvDir  string
+)
+
+func figureEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnvDir, benchEnvErr = os.MkdirTemp("", "haralick4d-bench")
+		if benchEnvErr != nil {
+			return
+		}
+		benchEnv, benchEnvErr = experiments.Setup(experiments.TinyScale(), benchEnvDir)
+		if benchEnv != nil {
+			benchEnv.Repeats = 1
+		}
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+func benchFigure(b *testing.B, id string) {
+	env := figureEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.ByID(env, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + fig.String())
+		}
+	}
+}
+
+// BenchmarkFig7aHMPFullVsSparse regenerates Figure 7(a): HMP implementation
+// execution time, full vs sparse matrix representation, 1–16 processors.
+func BenchmarkFig7aHMPFullVsSparse(b *testing.B) { benchFigure(b, "7a") }
+
+// BenchmarkFig7bSplitFullVsSparse regenerates Figure 7(b): split HCC+HPC
+// implementation, full vs sparse representation.
+func BenchmarkFig7bSplitFullVsSparse(b *testing.B) { benchFigure(b, "7b") }
+
+// BenchmarkFig8Colocation regenerates Figure 8: HCC+HPC co-located vs on
+// separate processors vs the HMP implementation.
+func BenchmarkFig8Colocation(b *testing.B) { benchFigure(b, "8") }
+
+// BenchmarkFig9PerFilterTime regenerates Figure 9: the processing time of
+// each filter of the split implementation as processors are added.
+func BenchmarkFig9PerFilterTime(b *testing.B) { benchFigure(b, "9") }
+
+// BenchmarkFig10Heterogeneous regenerates Figure 10: HMP vs split HCC+HPC
+// across the heterogeneous PIII+XEON environment.
+func BenchmarkFig10Heterogeneous(b *testing.B) { benchFigure(b, "10") }
+
+// BenchmarkFig11Scheduling regenerates Figure 11: round-robin vs
+// demand-driven buffer scheduling on the XEON+OPTERON environment.
+func BenchmarkFig11Scheduling(b *testing.B) { benchFigure(b, "11") }
+
+// BenchmarkSparseDensity regenerates the §4.4.1 sparsity statistic (the
+// paper's "10.7 non-zero entries per matrix, about 1%").
+func BenchmarkSparseDensity(b *testing.B) { benchFigure(b, "density") }
+
+// BenchmarkZeroSkipAblation regenerates the §4.4.1 zero-skip claim (the
+// paper's "one-fourth the time").
+func BenchmarkZeroSkipAblation(b *testing.B) { benchFigure(b, "zeroskip") }
+
+// BenchmarkIICScaling regenerates the §5.2 explicit-IIC-replication
+// observation.
+func BenchmarkIICScaling(b *testing.B) { benchFigure(b, "iic") }
+
+// BenchmarkDirectionsAblation sweeps the direction-set size (DESIGN.md
+// ablation).
+func BenchmarkDirectionsAblation(b *testing.B) { benchFigure(b, "dirs") }
+
+// BenchmarkChunkSizeAblation sweeps the IIC-to-TEXTURE chunk size (the
+// §5.1 overlap/distribution tradeoff).
+func BenchmarkChunkSizeAblation(b *testing.B) { benchFigure(b, "chunk") }
+
+// BenchmarkDeclusteringAblation compares slice declustering policies (§4.2).
+func BenchmarkDeclusteringAblation(b *testing.B) { benchFigure(b, "decluster") }
+
+// ----- kernel microbenchmarks -----
+
+func phantomGrid(b *testing.B, dims [4]int, g int) *volume.Grid {
+	b.Helper()
+	v := GeneratePhantom(PhantomConfig{Dims: dims, Seed: 3})
+	return volume.Requantize(v, g)
+}
+
+// BenchmarkGLCMFull measures dense co-occurrence accumulation for one paper
+// ROI (16×16×3×3, 40 directions, G=32).
+func BenchmarkGLCMFull(b *testing.B) {
+	grid := phantomGrid(b, [4]int{32, 32, 8, 8}, 32)
+	dirs := glcm.Directions(4, 1)
+	m := glcm.NewFull(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		glcm.ComputeFull(grid.Data, grid.Strides(), [4]int{}, [4]int{16, 16, 3, 3}, dirs, m)
+	}
+}
+
+// BenchmarkGLCMSparseScratch measures the production sparse build (dense
+// scratch + touched list) for the same ROI.
+func BenchmarkGLCMSparseScratch(b *testing.B) {
+	grid := phantomGrid(b, [4]int{32, 32, 8, 8}, 32)
+	dirs := glcm.Directions(4, 1)
+	bu := glcm.NewSparseBuilder(32)
+	s := glcm.NewSparse(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		glcm.ComputeSparseScratch(grid.Data, grid.Strides(), [4]int{}, [4]int{16, 16, 3, 3}, dirs, bu)
+		bu.Flush(s)
+	}
+}
+
+// BenchmarkGLCMSparseInsertion measures the direct sorted-insertion sparse
+// build (the build-strategy ablation baseline).
+func BenchmarkGLCMSparseInsertion(b *testing.B) {
+	grid := phantomGrid(b, [4]int{32, 32, 8, 8}, 32)
+	dirs := glcm.Directions(4, 1)
+	s := glcm.NewSparse(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		glcm.ComputeSparse(grid.Data, grid.Strides(), [4]int{}, [4]int{16, 16, 3, 3}, dirs, s)
+	}
+}
+
+func benchMatrices(b *testing.B) ([]*glcm.Full, []*glcm.Sparse) {
+	b.Helper()
+	grid := phantomGrid(b, [4]int{32, 32, 8, 8}, 32)
+	cfg := &core.Config{ROI: [4]int{16, 16, 3, 3}, GrayLevels: 32}
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	region := &volume.Region{Box: volume.BoxAt([4]int{}, grid.Dims), Data: grid.Data}
+	var fulls []*glcm.Full
+	err := core.ScanRegion(region, volume.BoxAt([4]int{2, 2, 1, 1}, [4]int{8, 8, 2, 2}), cfg, nil,
+		func(_ [4]int, m *glcm.Full, _ *glcm.Sparse) error {
+			fulls = append(fulls, &glcm.Full{G: m.G, Counts: append([]uint32(nil), m.Counts...), Total: m.Total})
+			return nil
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sparses := make([]*glcm.Sparse, len(fulls))
+	for i, m := range fulls {
+		sparses[i] = m.Sparse()
+	}
+	return fulls, sparses
+}
+
+// BenchmarkFeaturesFullNoSkip measures parameter calculation over the dense
+// matrix without the zero test.
+func BenchmarkFeaturesFullNoSkip(b *testing.B) {
+	fulls, _ := benchMatrices(b)
+	calc := features.NewCalculator(32, features.PaperSet())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calc.FromFull(fulls[i%len(fulls)], false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeaturesFullZeroSkip measures the paper's zero-skip optimization.
+func BenchmarkFeaturesFullZeroSkip(b *testing.B) {
+	fulls, _ := benchMatrices(b)
+	calc := features.NewCalculator(32, features.PaperSet())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calc.FromFull(fulls[i%len(fulls)], true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeaturesSparse measures parameter calculation directly from the
+// sparse form.
+func BenchmarkFeaturesSparse(b *testing.B) {
+	_, sparses := benchMatrices(b)
+	calc := features.NewCalculator(32, features.PaperSet())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calc.FromSparse(sparses[i%len(sparses)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFeaturesAllFourteen measures the full f1–f14 set including the
+// maximal correlation coefficient's eigenproblem.
+func BenchmarkFeaturesAllFourteen(b *testing.B) {
+	fulls, _ := benchMatrices(b)
+	calc := features.NewCalculator(32, features.All())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calc.FromFull(fulls[i%len(fulls)], true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeParallel measures end-to-end in-memory analysis through
+// the local pipeline with all CPUs.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	v := GeneratePhantom(PhantomConfig{Dims: [4]int{32, 32, 6, 6}, Seed: 5})
+	opts := &Options{ROI: [4]int{6, 6, 2, 2}, GrayLevels: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(v, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRequantize measures the intensity requantization pass.
+func BenchmarkRequantize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewVolume([4]int{64, 64, 8, 8})
+	for i := range v.Data {
+		v.Data[i] = uint16(rng.Intn(4096))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		volume.Requantize(v, 32)
+	}
+}

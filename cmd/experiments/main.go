@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// (7a, 7b, 8, 9, 10, 11), the quantified in-text claims (sparse matrix
+// density, zero-skip speedup), the IIC replication observation, and the
+// design-choice ablations, on the simulated cluster testbed.
+//
+// Usage:
+//
+//	experiments                      # all figures at the small scale
+//	experiments -fig 7b              # one figure
+//	experiments -scale tiny -csv out # CSV series for plotting
+//	experiments -scale paper         # full-size dataset (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"haralick4d/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure id: 7a, 7b, 8, 9, 10, 11, density, zeroskip, iic, dirs, chunk (default: all)")
+		scaleS   = flag.String("scale", "small", "experiment scale: tiny, small, paper")
+		dataDir  = flag.String("data", "", "reuse/create the phantom dataset in this directory (default: temp)")
+		csvDir   = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+		repeats  = flag.Int("repeats", 3, "simulation repetitions per configuration (min is reported)")
+		computeS = flag.Float64("compute-scale", experiments.DefaultComputeScale, "virtual seconds per host second on a speed-1 node")
+	)
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	dir := *dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "haralick4d-exp")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fmt.Printf("preparing %s-scale phantom dataset (%v) under %s...\n", scale.Name, scale.Dims, dir)
+	env, err := experiments.Setup(scale, dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	env.Repeats = *repeats
+	env.ComputeScale = *computeS
+
+	var figs []*experiments.Figure
+	if *fig == "" {
+		figs, err = experiments.All(env)
+	} else {
+		var f *experiments.Figure
+		f, err = experiments.ByID(env, *fig)
+		figs = append(figs, f)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range figs {
+		fmt.Println(f.String())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, "fig"+f.ID+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  (csv: %s)\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command gendata synthesizes a DCE-MRI phantom study and writes it as a
+// disk-resident dataset declustered across storage-node directories, in the
+// format the paper's pipeline reads (one raw file per 2D slice, round-robin
+// across nodes, per-node index files, JSON header).
+//
+// Usage:
+//
+//	gendata -out /data/study1 -dims 256x256x32x32 -nodes 4 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/dicom"
+	"haralick4d/internal/synthetic"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "", "output dataset directory (required)")
+		dims   = flag.String("dims", "64x64x16x16", "dataset dimensions XxYxZxT")
+		nodes  = flag.Int("nodes", 4, "storage nodes to decluster across")
+		seed   = flag.Int64("seed", 1, "phantom random seed")
+		tumors = flag.Int("tumors", 2, "number of enhancing lesions")
+		noise  = flag.Float64("noise", 8, "acquisition noise sigma")
+		format = flag.String("format", "raw", "on-disk format: raw (paper layout) or dicom")
+		distS  = flag.String("dist", "round-robin", "raw declustering policy: round-robin, block, slice-mod")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gendata: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var d [4]int
+	if _, err := fmt.Sscanf(*dims, "%dx%dx%dx%d", &d[0], &d[1], &d[2], &d[3]); err != nil {
+		fmt.Fprintf(os.Stderr, "gendata: invalid -dims %q: %v\n", *dims, err)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generating %s phantom (seed %d)...\n", *dims, *seed)
+	v := synthetic.Generate(synthetic.Config{
+		Dims:       d,
+		Seed:       *seed,
+		NumTumors:  *tumors,
+		NoiseSigma: *noise,
+	})
+	dist, err := dataset.ParseDistribution(*distS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+		os.Exit(2)
+	}
+	switch *format {
+	case "raw":
+		meta, err := dataset.WriteDistributed(*out, v, *nodes, dist)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d raw slices across %d storage nodes under %s (intensity range [%d, %d])\n",
+			d[2]*d[3], meta.Nodes, *out, meta.Min, meta.Max)
+	case "dicom":
+		if err := dicom.WriteStudy(*out, v, *nodes); err != nil {
+			fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d DICOM slices across %d storage nodes under %s\n", d[2]*d[3], *nodes, *out)
+	default:
+		fmt.Fprintf(os.Stderr, "gendata: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,222 @@
+// Command haralick4d runs the parallel 4D Haralick texture analysis
+// pipeline over a disk-resident dataset, with the paper's configuration
+// surface exposed as flags: the implementation (combined HMP vs split
+// HCC+HPC), the co-occurrence matrix representation (full, full without the
+// zero-skip optimization, sparse), the buffer scheduling policy
+// (round-robin vs demand-driven), copy counts, chunk geometry and the
+// execution engine (local goroutines, loopback TCP between virtual nodes,
+// or the simulated cluster).
+//
+// Examples:
+//
+//	haralick4d -data /data/study1 -out /tmp/maps -format jpeg
+//	haralick4d -data /data/study1 -impl split -rep sparse -texture 8 -engine tcp -out /tmp/uso -format uso
+//	haralick4d -data /data/study1 -engine sim -impl split -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"haralick4d/internal/core"
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/dicom"
+	"haralick4d/internal/features"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/filters"
+	"haralick4d/internal/netdesc"
+	"haralick4d/internal/pipeline"
+)
+
+// dicomStudy abstracts the two dataset formats behind one build call.
+type dicomStudy struct {
+	dcm *dicom.Study
+	raw *dataset.Store
+}
+
+func (s *dicomStudy) build(cfg *pipeline.Config, layout *pipeline.Layout) (*filter.Graph, *filters.Results, [4]int, error) {
+	if s.dcm != nil {
+		return pipeline.BuildDICOM(s.dcm, cfg, layout)
+	}
+	return pipeline.Build(s.raw, cfg, layout)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "haralick4d: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		data    = flag.String("data", "", "dataset directory (required; see cmd/gendata)")
+		graph   = flag.String("graph", "", "XML pipeline description (overrides the analysis/layout flags)")
+		dicomIn = flag.Bool("dicom", false, "the dataset directory is a DICOM study (see internal/dicom)")
+		out     = flag.String("out", "", "output directory (required unless -format none)")
+		format  = flag.String("format", "jpeg", "output format: jpeg (HIC+JIW), uso (unstitched), none (collect only)")
+		implS   = flag.String("impl", "hmp", "texture implementation: hmp or split")
+		repS    = flag.String("rep", "full", "matrix representation: full, full-noskip, sparse")
+		policyS = flag.String("policy", "demand-driven", "buffer scheduling: round-robin or demand-driven")
+		engineS = flag.String("engine", "local", "execution engine: local, tcp, sim")
+		texture = flag.Int("texture", 4, "texture filter copies (HMP, or HCC+HPC pairs for split)")
+		iic     = flag.Int("iic", 1, "explicit IIC copies")
+		roiS    = flag.String("roi", "16x16x3x3", "ROI window XxYxZxT")
+		chunkS  = flag.String("chunk", "", "IIC-to-TEXTURE chunk shape XxYxZxT (default: auto)")
+		gray    = flag.Int("gray", 32, "gray levels G")
+		featS   = flag.String("features", "", "comma-separated feature names (default: the paper's four)")
+		ndim    = flag.Int("ndim", 4, "direction-set dimensionality (1-4)")
+		dist    = flag.Int("distance", 1, "displacement distance")
+		stats   = flag.Bool("stats", false, "print per-filter runtime statistics")
+	)
+	flag.Parse()
+	if *data == "" {
+		fail("-data is required")
+	}
+
+	impl, err := pipeline.ParseImpl(*implS)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep, err := core.ParseRepresentation(*repS)
+	if err != nil {
+		fail("%v", err)
+	}
+	policy, err := filter.ParsePolicy(*policyS)
+	if err != nil {
+		fail("%v", err)
+	}
+	engine, err := pipeline.ParseEngine(*engineS)
+	if err != nil {
+		fail("%v", err)
+	}
+	var roi [4]int
+	if _, err := fmt.Sscanf(*roiS, "%dx%dx%dx%d", &roi[0], &roi[1], &roi[2], &roi[3]); err != nil {
+		fail("invalid -roi %q", *roiS)
+	}
+	var chunk [4]int
+	if *chunkS != "" {
+		if _, err := fmt.Sscanf(*chunkS, "%dx%dx%dx%d", &chunk[0], &chunk[1], &chunk[2], &chunk[3]); err != nil {
+			fail("invalid -chunk %q", *chunkS)
+		}
+	}
+	var feats []features.Feature
+	if *featS != "" {
+		for _, name := range strings.Split(*featS, ",") {
+			f, err := features.Parse(name)
+			if err != nil {
+				fail("%v", err)
+			}
+			feats = append(feats, f)
+		}
+	}
+
+	var (
+		cfg    *pipeline.Config
+		layout *pipeline.Layout
+	)
+	var dims [4]int
+	var storageNodes int
+	var study *dicomStudy
+	if *dicomIn {
+		s, err := dicom.OpenStudy(*data)
+		if err != nil {
+			fail("%v", err)
+		}
+		study = &dicomStudy{dcm: s}
+		dims, storageNodes = s.Dims, s.Nodes
+	} else {
+		st, err := dataset.Open(*data)
+		if err != nil {
+			fail("%v", err)
+		}
+		study = &dicomStudy{raw: st}
+		dims, storageNodes = st.Meta.Dims, st.Meta.Nodes
+	}
+
+	if *graph != "" {
+		doc, err := netdesc.ParseFile(*graph)
+		if err != nil {
+			fail("%v", err)
+		}
+		if cfg, layout, err = doc.Build(); err != nil {
+			fail("%v", err)
+		}
+		if *out != "" {
+			cfg.OutDir = *out
+		}
+	} else {
+		cfg = &pipeline.Config{
+			Analysis: core.Config{
+				ROI:            roi,
+				GrayLevels:     *gray,
+				NDim:           *ndim,
+				Distance:       *dist,
+				Features:       feats,
+				Representation: rep,
+			},
+			ChunkShape: chunk,
+			Impl:       impl,
+			Policy:     policy,
+			OutDir:     *out,
+		}
+		switch *format {
+		case "jpeg":
+			cfg.Output = pipeline.OutputJPEG
+		case "uso":
+			cfg.Output = pipeline.OutputUSO
+		case "none":
+			cfg.Output = pipeline.OutputCollect
+		default:
+			fail("unknown -format %q", *format)
+		}
+		// Placement: storage nodes first, then IIC, output, texture nodes.
+		next := storageNodes
+		take := func(n int) []int {
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = next
+				next++
+			}
+			return ids
+		}
+		layout = &pipeline.Layout{
+			IICNodes:    take(*iic),
+			OutputNodes: take(1),
+		}
+		tex := take(*texture)
+		switch impl {
+		case pipeline.HMPImpl:
+			layout.HMPNodes = tex
+		case pipeline.SplitImpl:
+			layout.HCCNodes = tex
+			layout.HPCNodes = tex // co-located pairs (the paper's best layout)
+		}
+	}
+	if cfg.Output != pipeline.OutputCollect {
+		if cfg.OutDir == "" {
+			fail("an output directory is required (use -out)")
+		}
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	g, sink, outDims, err := study.build(cfg, layout)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("dataset %v, ROI %v, G=%d, %s/%s/%s on %s engine\n",
+		dims, cfg.Analysis.ROI, cfg.Analysis.GrayLevels, cfg.Impl, cfg.Analysis.Representation, cfg.Policy, engine)
+	rs, err := pipeline.Run(g, engine, nil)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("done in %v; output dims %v\n", rs.Elapsed, outDims)
+	if *stats {
+		fmt.Print(rs.String())
+	}
+	if sink != nil {
+		fmt.Println("results collected in memory (use -format jpeg or uso to persist)")
+	}
+}

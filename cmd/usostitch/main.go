@@ -1,0 +1,96 @@
+// Command usostitch postprocesses UnstitchedOutput record files (the USO
+// filter's on-disk format of parameter values with positional information,
+// §4.3.3): it assembles the records from any number of USO copies into
+// complete 4D parameter datasets and writes them as JPEG slice series —
+// the offline equivalent of the HIC → JIW output path.
+//
+// Usage:
+//
+//	usostitch -in /tmp/uso -dims 241x241x30x30 -out /tmp/maps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"image/color"
+	"image/jpeg"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"haralick4d/internal/features"
+	"haralick4d/internal/filters"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "usostitch: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		in      = flag.String("in", "", "directory holding uso_*.bin record files (required)")
+		out     = flag.String("out", "", "output directory for JPEG series (required)")
+		dimsS   = flag.String("dims", "", "output (parameter map) dimensions XxYxZxT (required)")
+		quality = flag.Int("quality", 90, "JPEG quality")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" || *dimsS == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var dims [4]int
+	if _, err := fmt.Sscanf(*dimsS, "%dx%dx%dx%d", &dims[0], &dims[1], &dims[2], &dims[3]); err != nil {
+		fail("invalid -dims %q", *dimsS)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail("%v", err)
+	}
+	grids, err := filters.ReadUSODir(*in, dims)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(grids) == 0 {
+		fail("no USO record files under %s", *in)
+	}
+	var feats []features.Feature
+	for ft := range grids {
+		feats = append(feats, ft)
+	}
+	sort.Slice(feats, func(i, j int) bool { return feats[i] < feats[j] })
+
+	total := 0
+	for _, ft := range feats {
+		g := grids[ft]
+		lo, hi := g.MinMax()
+		scale := 0.0
+		if hi > lo {
+			scale = 255 / (hi - lo)
+		}
+		for t := 0; t < dims[3]; t++ {
+			for z := 0; z < dims[2]; z++ {
+				img := image.NewGray(image.Rect(0, 0, dims[0], dims[1]))
+				for y := 0; y < dims[1]; y++ {
+					for x := 0; x < dims[0]; x++ {
+						v := (g.At(x, y, z, t) - lo) * scale
+						img.SetGray(x, y, color.Gray{Y: uint8(math.Round(math.Max(0, math.Min(255, v))))})
+					}
+				}
+				name := fmt.Sprintf("%s_t%04d_z%04d.jpg", ft, t, z)
+				f, err := os.Create(filepath.Join(*out, name))
+				if err != nil {
+					fail("%v", err)
+				}
+				if err := jpeg.Encode(f, img, &jpeg.Options{Quality: *quality}); err != nil {
+					f.Close()
+					fail("%v", err)
+				}
+				f.Close()
+				total++
+			}
+		}
+	}
+	fmt.Printf("stitched %d parameters into %d JPEG images under %s\n", len(feats), total, *out)
+}

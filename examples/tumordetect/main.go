@@ -1,0 +1,141 @@
+// Tumor detection: the paper's motivating application end to end (§1).
+// Haralick texture features are computed over a DCE-MRI study and used to
+// train a small neural network ("once trained, the neural network becomes a
+// convenient tool for discovering cancerous tissue given the texture
+// analysis results"); the classifier is then evaluated on a second,
+// unseen study.
+//
+//	go run ./examples/tumordetect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"haralick4d/internal/core"
+	"haralick4d/internal/features"
+	"haralick4d/internal/mlp"
+	"haralick4d/internal/synthetic"
+	"haralick4d/internal/volume"
+)
+
+var featureSet = []features.Feature{
+	features.ASM, features.Contrast, features.Correlation,
+	features.Variance, features.IDM, features.Entropy,
+	features.SumAverage, features.SumVariance,
+}
+
+// study computes per-ROI texture feature vectors and tumor labels for one
+// phantom.
+func study(seed int64) (samples [][]float64, labels [][]float64, positives int) {
+	dims := [4]int{48, 48, 6, 8}
+	roi := [4]int{8, 8, 3, 3}
+	v, truth := synthetic.GenerateWithTruth(synthetic.Config{Dims: dims, Seed: seed})
+	grid := volume.Requantize(v, 32)
+
+	cfg := &core.Config{ROI: roi, GrayLevels: 32, Features: featureSet}
+	grids, err := core.AnalyzeGrid(grid, cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outDims := grids[0].Dims
+
+	// One sample per spatial ROI position. Tumors are detected by their
+	// contrast dynamics (the paper's motivation: "characterizing contrast
+	// uptake and elimination in a region"), so each sample pairs the ROI's
+	// texture features before the bolus arrives (t=0) with the features at
+	// peak enhancement — the network sees the uptake-induced texture
+	// change. The label is whether the ROI's central region overlaps
+	// substantial tumor enhancement.
+	tPre, tPeak := 0, (2*outDims[3])/3
+	for z := 0; z < outDims[2]; z++ {
+		for y := 0; y < outDims[1]; y++ {
+			for x := 0; x < outDims[0]; x++ {
+				vec := make([]float64, 0, 2*len(grids))
+				for _, g := range grids {
+					vec = append(vec, g.At(x, y, z, tPre))
+				}
+				for _, g := range grids {
+					vec = append(vec, g.At(x, y, z, tPeak))
+				}
+				w := truth.MeanIn(
+					[3]int{x + roi[0]/4, y + roi[1]/4, z},
+					[3]int{x + 3*roi[0]/4, y + 3*roi[1]/4, z + roi[2]},
+				)
+				label := 0.0
+				if w > 200 { // substantial enhancement amplitude
+					label = 1
+					positives++
+				}
+				samples = append(samples, vec)
+				labels = append(labels, []float64{label})
+			}
+		}
+	}
+	return samples, labels, positives
+}
+
+func main() {
+	fmt.Println("computing texture features for two training studies...")
+	trainX, trainY, trainPos := study(100)
+	x2, y2, p2 := study(101)
+	trainX = append(trainX, x2...)
+	trainY = append(trainY, y2...)
+	trainPos += p2
+	fmt.Printf("  %d ROIs (%d tumor-positive)\n", len(trainX), trainPos)
+
+	std, err := mlp.FitStandardizer(trainX)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tumor ROIs are a few percent of the study; balance the training set
+	// (all positives plus an equal share of negatives) so the network does
+	// not collapse to the majority class.
+	rng := rand.New(rand.NewSource(3))
+	var balX, balY [][]float64
+	for i := range trainX {
+		if trainY[i][0] > 0.5 || rng.Float64() < 3*float64(trainPos)/float64(len(trainX)) {
+			balX = append(balX, std.Apply(trainX[i]))
+			balY = append(balY, trainY[i])
+		}
+	}
+	fmt.Printf("  balanced training set: %d ROIs\n", len(balX))
+
+	net := mlp.New([]int{2 * len(featureSet), 12, 1}, 1)
+	fmt.Println("training the neural network on texture features...")
+	losses, err := net.Train(balX, balY, mlp.TrainConfig{
+		Epochs: 300, LearningRate: 0.3, Momentum: 0.9, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  loss %.4f -> %.4f over %d epochs\n", losses[0], losses[len(losses)-1], len(losses))
+
+	fmt.Println("evaluating on an unseen study...")
+	testX, testY, testPos := study(200)
+	var tp, tn, fp, fn int
+	for i := range testX {
+		pred := net.Forward(std.Apply(testX[i]))[0] > 0.5
+		actual := testY[i][0] > 0.5
+		switch {
+		case pred && actual:
+			tp++
+		case !pred && !actual:
+			tn++
+		case pred && !actual:
+			fp++
+		default:
+			fn++
+		}
+	}
+	total := len(testX)
+	acc := float64(tp+tn) / float64(total)
+	sens := float64(tp) / float64(tp+fn)
+	spec := float64(tn) / float64(tn+fp)
+	fmt.Printf("  %d ROIs (%d tumor-positive)\n", total, testPos)
+	fmt.Printf("  accuracy %.1f%%   sensitivity %.1f%%   specificity %.1f%%\n",
+		100*acc, 100*sens, 100*spec)
+	fmt.Println("pairing pre-contrast and peak-enhancement texture captures the uptake dynamics the paper describes (§1).")
+}

@@ -1,0 +1,3 @@
+module haralick4d
+
+go 1.22

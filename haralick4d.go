@@ -1,0 +1,271 @@
+// Package haralick4d implements parallel 4-dimensional Haralick texture
+// analysis for disk-resident image datasets, reproducing Woods, Clymer,
+// Saltz and Kurc (SC 2004).
+//
+// The analysis rasters a region-of-interest (ROI) window over a 4D (x, y,
+// z, t) image dataset; for each ROI it computes a gray-level co-occurrence
+// matrix and derives up to fourteen Haralick textural parameters, producing
+// one 4D parameter image per feature. Datasets too large for one machine
+// are declustered across storage nodes and processed by a filter-stream
+// pipeline (a DataCutter-style middleware, see internal/filter) with
+// configurable task- and data-parallelism.
+//
+// This package is the façade over the building blocks in internal/: use
+// Analyze for in-memory volumes, AnalyzeDataset for disk-resident datasets
+// created with WriteDataset, and GeneratePhantom for synthetic DCE-MRI test
+// studies. Lower-level control (filter placement, execution engines, the
+// simulated cluster) is available through the internal packages and the
+// cmd/ tools.
+package haralick4d
+
+import (
+	"runtime"
+
+	"haralick4d/internal/core"
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/features"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/pipeline"
+	"haralick4d/internal/synthetic"
+	"haralick4d/internal/volume"
+)
+
+// Feature identifies one of Haralick's fourteen textural parameters.
+type Feature = features.Feature
+
+// The fourteen Haralick parameters (f1–f14).
+const (
+	ASM                 = features.ASM
+	Contrast            = features.Contrast
+	Correlation         = features.Correlation
+	Variance            = features.Variance
+	IDM                 = features.IDM
+	SumAverage          = features.SumAverage
+	SumVariance         = features.SumVariance
+	SumEntropy          = features.SumEntropy
+	Entropy             = features.Entropy
+	DifferenceVariance  = features.DifferenceVariance
+	DifferenceEntropy   = features.DifferenceEntropy
+	InfoCorrelation1    = features.InfoCorrelation1
+	InfoCorrelation2    = features.InfoCorrelation2
+	MaxCorrelationCoeff = features.MaxCorrelationCoeff
+)
+
+// AllFeatures returns all fourteen parameters in f1–f14 order.
+func AllFeatures() []Feature { return features.All() }
+
+// PaperFeatures returns the four parameters used throughout the paper's
+// evaluation: angular second moment, correlation, sum of squares (variance)
+// and inverse difference moment.
+func PaperFeatures() []Feature { return features.PaperSet() }
+
+// ParseFeature returns the feature with the given canonical name (e.g.
+// "asm", "contrast", "max-correlation-coeff").
+func ParseFeature(name string) (Feature, error) { return features.Parse(name) }
+
+// Representation selects the co-occurrence matrix storage scheme.
+type Representation = core.Representation
+
+// The three storage schemes studied by the paper.
+const (
+	// FullMatrix is the dense G×G array with the zero-skip parameter
+	// calculation (the paper's optimized full representation).
+	FullMatrix = core.FullMatrix
+	// FullMatrixNoSkip disables the zero test (ablation baseline).
+	FullMatrixNoSkip = core.FullMatrixNoSkip
+	// SparseMatrix stores only non-zero entries and computes parameters
+	// directly from the sparse form.
+	SparseMatrix = core.SparseMatrix
+)
+
+// Volume is a raw 4D image dataset of 2-byte voxels with dimensions
+// (X, Y, Z, T), x varying fastest.
+type Volume = volume.Volume
+
+// FloatGrid is a 4D grid of float64 values — one per ROI position — the
+// output type of the analysis.
+type FloatGrid = volume.FloatGrid
+
+// NewVolume allocates a zeroed volume with the given dimensions.
+func NewVolume(dims [4]int) *Volume { return volume.NewVolume(dims) }
+
+// Options configures an analysis. The zero value is the paper's
+// configuration: 16×16×3×3 ROI, 32 gray levels, distance-1 displacements in
+// all 40 unique 4D directions, the paper's four parameters, and the
+// optimized full-matrix representation.
+type Options struct {
+	// ROI is the region-of-interest window shape (x, y, z, t).
+	ROI [4]int
+	// GrayLevels is the requantization level count G (co-occurrence
+	// matrices are G×G).
+	GrayLevels int
+	// NDim selects the direction-set dimensionality (1–4).
+	NDim int
+	// Distance is the voxel-pair displacement magnitude.
+	Distance int
+	// Features are the Haralick parameters to compute.
+	Features []Feature
+	// Representation selects the matrix storage scheme.
+	Representation Representation
+	// Parallelism is the number of parallel texture workers; 0 uses all
+	// CPUs, 1 forces the sequential reference path.
+	Parallelism int
+}
+
+func (o *Options) coreConfig() (core.Config, error) {
+	var cfg core.Config
+	if o != nil {
+		cfg = core.Config{
+			ROI:            o.ROI,
+			GrayLevels:     o.GrayLevels,
+			NDim:           o.NDim,
+			Distance:       o.Distance,
+			Features:       o.Features,
+			Representation: o.Representation,
+		}
+	}
+	err := cfg.Validate()
+	return cfg, err
+}
+
+func (o *Options) workers() int {
+	if o == nil || o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// Result holds the assembled parameter images of one analysis.
+type Result struct {
+	// Grids maps each requested feature to its 4D parameter image. The
+	// grid dimensions are the dataset dimensions minus ROI−1 per axis (one
+	// value per fully-contained ROI).
+	Grids map[Feature]*FloatGrid
+	// OutputDims are the dimensions of every grid.
+	OutputDims [4]int
+}
+
+// Analyze runs 4D Haralick texture analysis over an in-memory volume: the
+// volume is requantized to the configured gray levels over its own
+// intensity range and raster-scanned with the configured ROI. With
+// Parallelism > 1 the work is chunked and spread over a local filter
+// pipeline; outputs are identical to the sequential path.
+func Analyze(v *Volume, opts *Options) (*Result, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	grid := volume.Requantize(v, cfg.GrayLevels)
+	return analyzeGrid(grid, cfg, opts.workers())
+}
+
+func analyzeGrid(grid *volume.Grid, cfg core.Config, workers int) (*Result, error) {
+	outDims, err := volume.OutputDims(grid.Dims, cfg.ROI)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims}
+	if workers <= 1 {
+		grids, err := core.AnalyzeGrid(grid, &cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range cfg.Features {
+			res.Grids[f] = grids[i]
+		}
+		return res, nil
+	}
+	pcfg := &pipeline.Config{
+		Analysis: cfg,
+		Impl:     pipeline.HMPImpl,
+		Policy:   filter.DemandDriven,
+		Output:   pipeline.OutputCollect,
+	}
+	layout := &pipeline.Layout{HMPNodes: make([]int, workers)}
+	g, sink, _, err := pipeline.BuildMem(grid, pcfg, layout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pipeline.Run(g, pipeline.EngineLocal, nil); err != nil {
+		return nil, err
+	}
+	if err := sink.Complete(cfg.Features); err != nil {
+		return nil, err
+	}
+	for _, f := range cfg.Features {
+		res.Grids[f] = sink.Grid(f)
+	}
+	return res, nil
+}
+
+// WriteDataset declusters a volume across storageNodes node directories
+// under dir in the paper's disk-resident layout (§4.2): one raw file per 2D
+// slice, slices dealt round-robin, an index file per node and a JSON
+// header.
+func WriteDataset(dir string, v *Volume, storageNodes int) error {
+	_, err := dataset.Write(dir, v, storageNodes)
+	return err
+}
+
+// AnalyzeDataset runs the full parallel pipeline over a disk-resident
+// dataset directory created by WriteDataset: RFR readers (one per storage
+// node) feed an InputImageConstructor, which distributes overlapping 4D
+// chunks to parallel texture filters; results are assembled in memory.
+func AnalyzeDataset(dir string, opts *Options) (*Result, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	st, err := dataset.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := &pipeline.Config{
+		Analysis: cfg,
+		Impl:     pipeline.HMPImpl,
+		Policy:   filter.DemandDriven,
+		Output:   pipeline.OutputCollect,
+	}
+	layout := &pipeline.Layout{HMPNodes: make([]int, opts.workers())}
+	g, sink, outDims, err := pipeline.Build(st, pcfg, layout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pipeline.Run(g, pipeline.EngineLocal, nil); err != nil {
+		return nil, err
+	}
+	if err := sink.Complete(cfg.Features); err != nil {
+		return nil, err
+	}
+	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims}
+	for _, f := range cfg.Features {
+		res.Grids[f] = sink.Grid(f)
+	}
+	return res, nil
+}
+
+// PhantomConfig parameterizes a synthetic DCE-MRI study (see
+// internal/synthetic): smooth anatomy, tumors with gamma-variate contrast
+// uptake and washout, vessels and acquisition noise. Deterministic per
+// seed.
+type PhantomConfig struct {
+	Dims       [4]int
+	Seed       int64
+	NumTumors  int
+	NumVessels int
+	NoiseSigma float64
+}
+
+// GeneratePhantom builds a synthetic DCE-MRI study.
+func GeneratePhantom(cfg PhantomConfig) *Volume {
+	return synthetic.Generate(synthetic.Config{
+		Dims:       cfg.Dims,
+		Seed:       cfg.Seed,
+		NumTumors:  cfg.NumTumors,
+		NumVessels: cfg.NumVessels,
+		NoiseSigma: cfg.NoiseSigma,
+	})
+}
+
+// Version is the library version.
+const Version = "1.0.0"

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"haralick4d/internal/features"
+	"haralick4d/internal/glcm"
+	"haralick4d/internal/volume"
+)
+
+func randomGrid(rng *rand.Rand, dims [4]int, g int) *volume.Grid {
+	gr := volume.NewGrid(dims, g)
+	for i := range gr.Data {
+		gr.Data[i] = uint8(rng.Intn(g))
+	}
+	return gr
+}
+
+func smallConfig(rep Representation) *Config {
+	return &Config{
+		ROI:            [4]int{4, 4, 2, 2},
+		GrayLevels:     8,
+		NDim:           4,
+		Distance:       1,
+		Features:       features.PaperSet(),
+		Representation: rep,
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	if c.ROI != def.ROI || c.GrayLevels != def.GrayLevels || c.NDim != def.NDim ||
+		c.Distance != def.Distance || len(c.Features) != len(def.Features) {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []Config{
+		{ROI: [4]int{-1, 1, 1, 1}},
+		{GrayLevels: 1},
+		{GrayLevels: 300},
+		{NDim: 5},
+		{Distance: -2},
+		{Features: []features.Feature{features.Feature(99)}},
+		{Representation: Representation(7)},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestRepresentationString(t *testing.T) {
+	for _, r := range []Representation{FullMatrix, FullMatrixNoSkip, SparseMatrix} {
+		got, err := ParseRepresentation(r.String())
+		if err != nil || got != r {
+			t.Errorf("round trip %v failed: %v, %v", r, got, err)
+		}
+	}
+	if _, err := ParseRepresentation("bogus"); err == nil {
+		t.Error("bogus representation accepted")
+	}
+	if Representation(9).String() != "representation(9)" {
+		t.Error("unknown representation String")
+	}
+}
+
+func TestDirectionSetOverride(t *testing.T) {
+	c := smallConfig(FullMatrix)
+	if n := len(c.DirectionSet()); n != 40 {
+		t.Errorf("default 4D direction count = %d, want 40", n)
+	}
+	c.Directions = []glcm.Direction{{1, 0, 0, 0}}
+	if n := len(c.DirectionSet()); n != 1 {
+		t.Errorf("override direction count = %d", n)
+	}
+}
+
+func TestAnalyzeGridOutputShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGrid(rng, [4]int{10, 9, 4, 4}, 8)
+	cfg := smallConfig(FullMatrix)
+	grids, err := AnalyzeGrid(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != len(cfg.Features) {
+		t.Fatalf("got %d feature grids", len(grids))
+	}
+	want := [4]int{7, 6, 3, 3}
+	for i, fg := range grids {
+		if fg.Dims != want {
+			t.Errorf("grid %d dims = %v, want %v", i, fg.Dims, want)
+		}
+		for _, v := range fg.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %v contains NaN/Inf", cfg.Features[i])
+			}
+		}
+	}
+}
+
+// Property: all three representations produce identical outputs on random
+// grids — the core cross-check the paper relies on when swapping storage
+// schemes.
+func TestRepresentationsAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [4]int{5 + rng.Intn(4), 5 + rng.Intn(4), 2 + rng.Intn(3), 2 + rng.Intn(3)}
+		g := randomGrid(rng, dims, 8)
+		var ref []*volume.FloatGrid
+		for _, rep := range []Representation{FullMatrix, FullMatrixNoSkip, SparseMatrix} {
+			cfg := smallConfig(rep)
+			cfg.ROI = [4]int{3, 3, 2, 2}
+			cfg.Features = features.All()
+			out, err := AnalyzeGrid(g, cfg, nil)
+			if err != nil {
+				return false
+			}
+			if ref == nil {
+				ref = out
+				continue
+			}
+			for i := range out {
+				for j := range out[i].Data {
+					a, b := ref[i].Data[j], out[i].Data[j]
+					if math.Abs(a-b) > 1e-9*math.Max(1, math.Abs(a)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: analyzing a grid chunk-by-chunk (through the chunker, as the
+// parallel pipelines do) reproduces the whole-grid analysis exactly.
+func TestChunkedEqualsWholeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [4]int{8 + rng.Intn(6), 8 + rng.Intn(6), 3 + rng.Intn(3), 3 + rng.Intn(3)}
+		g := randomGrid(rng, dims, 8)
+		cfg := smallConfig(FullMatrix)
+		cfg.ROI = [4]int{3, 3, 2, 2}
+
+		whole, err := AnalyzeGrid(g, cfg, nil)
+		if err != nil {
+			return false
+		}
+		chunkShape := [4]int{5, 5, 3, 3}
+		ck, err := volume.NewChunker(dims, chunkShape, cfg.ROI)
+		if err != nil {
+			return false
+		}
+		outDims, _ := volume.OutputDims(dims, cfg.ROI)
+		assembled := make([]*volume.FloatGrid, len(cfg.Features))
+		for i := range assembled {
+			assembled[i] = volume.NewFloatGrid(outDims)
+		}
+		for _, ch := range ck.Chunks() {
+			region := volume.ExtractRegion(g, ch.Voxels)
+			frs, err := AnalyzeRegion(region, ch.Origins, cfg, nil)
+			if err != nil {
+				return false
+			}
+			for i, fr := range frs {
+				fr.StoreInto(assembled[i])
+			}
+		}
+		for i := range whole {
+			for j := range whole[i].Data {
+				if whole[i].Data[j] != assembled[i].Data[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanRegionBoundsError(t *testing.T) {
+	g := randomGrid(rand.New(rand.NewSource(1)), [4]int{6, 6, 2, 2}, 8)
+	region := volume.ExtractRegion(g, volume.BoxAt([4]int{0, 0, 0, 0}, [4]int{4, 4, 2, 2}))
+	cfg := smallConfig(FullMatrix)
+	// Origins whose ROIs spill outside the region must be rejected.
+	err := ScanRegion(region, volume.BoxAt([4]int{0, 0, 0, 0}, [4]int{2, 2, 1, 1}), cfg, nil,
+		func([4]int, *glcm.Full, *glcm.Sparse) error { return nil })
+	if err == nil {
+		t.Error("out-of-region origins accepted")
+	}
+	if err := ScanRegion(nil, volume.Box{}, cfg, nil, nil); !errors.Is(err, ErrNilRegion) {
+		t.Errorf("nil region error = %v", err)
+	}
+}
+
+func TestScanRegionVisitorError(t *testing.T) {
+	g := randomGrid(rand.New(rand.NewSource(2)), [4]int{6, 6, 2, 2}, 8)
+	region := &volume.Region{Box: volume.BoxAt([4]int{}, g.Dims), Data: g.Data}
+	cfg := smallConfig(FullMatrix)
+	boom := errors.New("boom")
+	calls := 0
+	err := ScanRegion(region, volume.BoxAt([4]int{}, [4]int{2, 1, 1, 1}), cfg, nil,
+		func([4]int, *glcm.Full, *glcm.Sparse) error {
+			calls++
+			return boom
+		})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Errorf("visitor error not propagated: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := randomGrid(rand.New(rand.NewSource(3)), [4]int{8, 8, 3, 3}, 8)
+	cfg := smallConfig(SparseMatrix)
+	cfg.ROI = [4]int{3, 3, 2, 2}
+	var st Stats
+	if _, err := AnalyzeGrid(g, cfg, &st); err != nil {
+		t.Fatal(err)
+	}
+	outDims, _ := volume.OutputDims(g.Dims, cfg.ROI)
+	wantROIs := int64(volume.NumVoxels(outDims))
+	if st.ROIs != wantROIs {
+		t.Errorf("ROIs = %d, want %d", st.ROIs, wantROIs)
+	}
+	perROI := glcm.PairCount(cfg.ROI, cfg.DirectionSet())
+	if st.Pairs != uint64(wantROIs)*perROI {
+		t.Errorf("Pairs = %d, want %d", st.Pairs, uint64(wantROIs)*perROI)
+	}
+	if st.MeanEntries() <= 0 {
+		t.Error("MeanEntries should be positive")
+	}
+	var empty Stats
+	if empty.MeanEntries() != 0 {
+		t.Error("empty stats MeanEntries should be 0")
+	}
+}
+
+func TestAnalyzeGridGrayLevelMismatch(t *testing.T) {
+	g := volume.NewGrid([4]int{8, 8, 3, 3}, 16)
+	cfg := smallConfig(FullMatrix)
+	cfg.ROI = [4]int{3, 3, 2, 2}
+	if _, err := AnalyzeGrid(g, cfg, nil); err == nil {
+		t.Error("gray-level mismatch accepted")
+	}
+}
+
+func TestAnalyzeGridROIBiggerThanGrid(t *testing.T) {
+	g := volume.NewGrid([4]int{4, 4, 1, 1}, 8)
+	cfg := smallConfig(FullMatrix)
+	cfg.ROI = [4]int{8, 8, 1, 1}
+	if _, err := AnalyzeGrid(g, cfg, nil); err == nil {
+		t.Error("oversized ROI accepted")
+	}
+}
+
+// SparseBatch and FullBatch must agree exactly with the matrices ScanRegion
+// produces, in raster order, and share the arena correctly.
+func TestBatchesMatchScan(t *testing.T) {
+	g := randomGrid(rand.New(rand.NewSource(21)), [4]int{10, 9, 4, 4}, 8)
+	region := &volume.Region{Box: volume.BoxAt([4]int{}, g.Dims), Data: g.Data}
+	origins := volume.BoxAt([4]int{1, 1, 0, 0}, [4]int{4, 3, 2, 2})
+	cfg := smallConfig(SparseMatrix)
+	cfg.ROI = [4]int{3, 3, 2, 2}
+
+	var wantSparse []*glcm.Sparse
+	scanCfg := *cfg
+	scanCfg.Representation = SparseMatrix
+	err := ScanRegion(region, origins, &scanCfg, nil, func(_ [4]int, _ *glcm.Full, s *glcm.Sparse) error {
+		wantSparse = append(wantSparse, &glcm.Sparse{G: s.G, Entries: append([]glcm.Entry(nil), s.Entries...), Total: s.Total})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	gotSparse, err := SparseBatch(region, origins, &scanCfg, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotSparse) != len(wantSparse) {
+		t.Fatalf("batch has %d matrices, want %d", len(gotSparse), len(wantSparse))
+	}
+	if st.ROIs != int64(len(wantSparse)) {
+		t.Errorf("stats ROIs = %d", st.ROIs)
+	}
+	for k := range wantSparse {
+		if gotSparse[k].Total != wantSparse[k].Total || len(gotSparse[k].Entries) != len(wantSparse[k].Entries) {
+			t.Fatalf("matrix %d differs", k)
+		}
+		for i := range wantSparse[k].Entries {
+			if gotSparse[k].Entries[i] != wantSparse[k].Entries[i] {
+				t.Fatalf("matrix %d entry %d differs", k, i)
+			}
+		}
+		if err := gotSparse[k].Validate(); err != nil {
+			t.Fatalf("matrix %d invalid: %v", k, err)
+		}
+	}
+
+	fullCfg := *cfg
+	fullCfg.Representation = FullMatrix
+	gotFull, err := FullBatch(region, origins, &fullCfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range gotFull {
+		sp := gotFull[k].Sparse()
+		if sp.Total != gotSparse[k].Total || sp.NonZero() != gotSparse[k].NonZero() {
+			t.Fatalf("full/sparse batch disagree at %d", k)
+		}
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	g := randomGrid(rand.New(rand.NewSource(22)), [4]int{6, 6, 2, 2}, 8)
+	region := volume.ExtractRegion(g, volume.BoxAt([4]int{0, 0, 0, 0}, [4]int{4, 4, 2, 2}))
+	cfg := smallConfig(SparseMatrix)
+	cfg.ROI = [4]int{3, 3, 2, 2}
+	badOrigins := volume.BoxAt([4]int{0, 0, 0, 0}, [4]int{4, 4, 1, 1})
+	if _, err := SparseBatch(region, badOrigins, cfg, nil); err == nil {
+		t.Error("out-of-region origins accepted by SparseBatch")
+	}
+	if _, err := FullBatch(region, badOrigins, cfg, nil); err == nil {
+		t.Error("out-of-region origins accepted by FullBatch")
+	}
+	if _, err := SparseBatch(nil, badOrigins, cfg, nil); err == nil {
+		t.Error("nil region accepted by SparseBatch")
+	}
+}

@@ -1,0 +1,352 @@
+// Package dataset implements the paper's disk-resident 4D dataset layout
+// (§4.2): the 2D image slices making up each 3D volume are declustered
+// round-robin across storage nodes; every slice is stored in its own raw
+// file, and each storage node keeps a simple index file associating each
+// image file with its ⟨time step, slice number⟩ tuple.
+//
+// On-disk layout under a dataset root directory:
+//
+//	dataset.json                 header: dims, node count, global min/max
+//	node000/index.txt            lines: <filename> <t> <z>
+//	node000/slice_t0000_z0000.raw X·Y little-endian uint16 values, x fastest
+//	node001/...
+//
+// A "storage node" is a subdirectory; in a genuinely distributed deployment
+// each subdirectory lives on a different machine's local disk, but the
+// format (and all readers) only ever touch one node directory at a time, so
+// the simulation on one host is faithful.
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"haralick4d/internal/volume"
+)
+
+// FormatVersion identifies the on-disk format.
+const FormatVersion = 1
+
+// Distribution selects how 2D slices are declustered across storage nodes.
+// The paper uses round-robin because "common analysis queries specify entire
+// 3D volumes over a range of time steps" (§4.2); the alternatives are kept
+// for the declustering ablation.
+type Distribution int
+
+const (
+	// RoundRobinDist deals slices to nodes in turn by global slice id —
+	// the paper's layout; every volume read touches all nodes evenly.
+	RoundRobinDist Distribution = iota
+	// BlockDist stores contiguous runs of slices per node — good locality
+	// for single-node scans, poor parallelism for volume queries.
+	BlockDist
+	// SliceModDist places all time steps of slice z on node z mod N —
+	// favors temporal queries of one slice, serializes volume reads of
+	// few-slice datasets.
+	SliceModDist
+)
+
+// String returns the distribution's flag name.
+func (d Distribution) String() string {
+	switch d {
+	case RoundRobinDist:
+		return "round-robin"
+	case BlockDist:
+		return "block"
+	case SliceModDist:
+		return "slice-mod"
+	}
+	return fmt.Sprintf("distribution(%d)", int(d))
+}
+
+// ParseDistribution is the inverse of String.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "round-robin", "rr":
+		return RoundRobinDist, nil
+	case "block":
+		return BlockDist, nil
+	case "slice-mod":
+		return SliceModDist, nil
+	}
+	return 0, fmt.Errorf("dataset: unknown distribution %q", s)
+}
+
+// Meta is the dataset header stored in dataset.json. Min and Max record the
+// global intensity range so distributed readers requantize consistently
+// without a second pass over the data. Dist records the declustering
+// policy (absent/zero = round-robin, the paper's layout).
+type Meta struct {
+	Version int          `json:"version"`
+	Dims    [4]int       `json:"dims"` // X, Y, Z, T
+	Nodes   int          `json:"nodes"`
+	Min     uint16       `json:"min"`
+	Max     uint16       `json:"max"`
+	Dist    Distribution `json:"dist,omitempty"`
+}
+
+// SliceRef locates one 2D image slice within a storage node.
+type SliceRef struct {
+	File string // file name relative to the node directory
+	T, Z int
+}
+
+// SliceID returns the global linear id of the slice, t·Z + z — the order in
+// which slices are dealt round-robin to storage nodes.
+func SliceID(meta *Meta, z, t int) int { return t*meta.Dims[2] + z }
+
+// OwnerNode returns the storage node that holds slice (z, t) under the
+// dataset's declustering policy.
+func OwnerNode(meta *Meta, z, t int) int {
+	switch meta.Dist {
+	case BlockDist:
+		total := meta.Dims[2] * meta.Dims[3]
+		return SliceID(meta, z, t) * meta.Nodes / total
+	case SliceModDist:
+		return z % meta.Nodes
+	default:
+		return SliceID(meta, z, t) % meta.Nodes
+	}
+}
+
+// SliceFileName returns the canonical file name for slice (z, t).
+func SliceFileName(z, t int) string { return fmt.Sprintf("slice_t%04d_z%04d.raw", t, z) }
+
+func nodeDirName(node int) string { return fmt.Sprintf("node%03d", node) }
+
+// Write declusters the volume across nodes storage-node subdirectories of
+// dir with the paper's round-robin policy, creating the directory tree,
+// slice files, per-node index files and the dataset header. It returns the
+// header.
+func Write(dir string, v *volume.Volume, nodes int) (*Meta, error) {
+	return WriteDistributed(dir, v, nodes, RoundRobinDist)
+}
+
+// WriteDistributed is Write with an explicit declustering policy.
+func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution) (*Meta, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("dataset: node count %d must be >= 1", nodes)
+	}
+	if dist < RoundRobinDist || dist > SliceModDist {
+		return nil, fmt.Errorf("dataset: invalid distribution %d", int(dist))
+	}
+	lo, hi := v.MinMax()
+	meta := &Meta{Version: FormatVersion, Dims: v.Dims, Nodes: nodes, Min: lo, Max: hi, Dist: dist}
+
+	indexes := make([][]SliceRef, nodes)
+	for node := 0; node < nodes; node++ {
+		if err := os.MkdirAll(filepath.Join(dir, nodeDirName(node)), 0o755); err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+	}
+	X, Y := v.Dims[0], v.Dims[1]
+	buf := make([]byte, 2*X*Y)
+	for t := 0; t < v.Dims[3]; t++ {
+		for z := 0; z < v.Dims[2]; z++ {
+			node := OwnerNode(meta, z, t)
+			ref := SliceRef{File: SliceFileName(z, t), T: t, Z: z}
+			sl := v.Slice(z, t)
+			for i, val := range sl {
+				binary.LittleEndian.PutUint16(buf[2*i:], val)
+			}
+			path := filepath.Join(dir, nodeDirName(node), ref.File)
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				return nil, fmt.Errorf("dataset: writing slice: %w", err)
+			}
+			indexes[node] = append(indexes[node], ref)
+		}
+	}
+	for node, refs := range indexes {
+		if err := writeIndex(filepath.Join(dir, nodeDirName(node), "index.txt"), refs); err != nil {
+			return nil, err
+		}
+	}
+	hdr, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "dataset.json"), append(hdr, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("dataset: writing header: %w", err)
+	}
+	return meta, nil
+}
+
+func writeIndex(path string, refs []SliceRef) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range refs {
+		fmt.Fprintf(w, "%s %d %d\n", r.File, r.T, r.Z)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return f.Close()
+}
+
+// Store provides read access to a dataset directory.
+type Store struct {
+	Dir  string
+	Meta Meta
+}
+
+// Open reads the dataset header and returns a store.
+func Open(dir string) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "dataset.json"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("dataset: invalid header: %w", err)
+	}
+	if meta.Version != FormatVersion {
+		return nil, fmt.Errorf("dataset: unsupported format version %d", meta.Version)
+	}
+	if meta.Nodes < 1 || volume.NumVoxels(meta.Dims) <= 0 {
+		return nil, fmt.Errorf("dataset: corrupt header: %+v", meta)
+	}
+	return &Store{Dir: dir, Meta: meta}, nil
+}
+
+// NodeDir returns the directory of the given storage node.
+func (s *Store) NodeDir(node int) string { return filepath.Join(s.Dir, nodeDirName(node)) }
+
+// NodeIndex parses the node's index file and returns its slice refs sorted
+// by (T, Z).
+func (s *Store) NodeIndex(node int) ([]SliceRef, error) {
+	if node < 0 || node >= s.Meta.Nodes {
+		return nil, fmt.Errorf("dataset: node %d out of range [0, %d)", node, s.Meta.Nodes)
+	}
+	f, err := os.Open(filepath.Join(s.NodeDir(node), "index.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	var refs []SliceRef
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		var r SliceRef
+		if _, err := fmt.Sscanf(sc.Text(), "%s %d %d", &r.File, &r.T, &r.Z); err != nil {
+			return nil, fmt.Errorf("dataset: node %d index line %d: %w", node, line, err)
+		}
+		if r.T < 0 || r.T >= s.Meta.Dims[3] || r.Z < 0 || r.Z >= s.Meta.Dims[2] {
+			return nil, fmt.Errorf("dataset: node %d index line %d: slice (z=%d, t=%d) out of range", node, line, r.Z, r.T)
+		}
+		refs = append(refs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].T != refs[j].T {
+			return refs[i].T < refs[j].T
+		}
+		return refs[i].Z < refs[j].Z
+	})
+	return refs, nil
+}
+
+// ReadSlice reads one whole 2D slice from the given node.
+func (s *Store) ReadSlice(node int, ref SliceRef) ([]uint16, error) {
+	raw, err := os.ReadFile(filepath.Join(s.NodeDir(node), ref.File))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	X, Y := s.Meta.Dims[0], s.Meta.Dims[1]
+	if len(raw) != 2*X*Y {
+		return nil, fmt.Errorf("dataset: slice %s has %d bytes, want %d", ref.File, len(raw), 2*X*Y)
+	}
+	out := make([]uint16, X*Y)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(raw[2*i:])
+	}
+	return out, nil
+}
+
+// ReadSliceRegion reads the 2D subsection [x0, x1)×[y0, y1) of a slice using
+// positioned reads — the paper's "RFR filter reads a 2D subsection of each
+// image slice". Row-sized reads keep the seek count at one per row.
+func (s *Store) ReadSliceRegion(node int, ref SliceRef, x0, x1, y0, y1 int) ([]uint16, error) {
+	X, Y := s.Meta.Dims[0], s.Meta.Dims[1]
+	if x0 < 0 || x1 > X || y0 < 0 || y1 > Y || x0 >= x1 || y0 >= y1 {
+		return nil, fmt.Errorf("dataset: region [%d,%d)x[%d,%d) outside slice %dx%d", x0, x1, y0, y1, X, Y)
+	}
+	f, err := os.Open(filepath.Join(s.NodeDir(node), ref.File))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	w := x1 - x0
+	out := make([]uint16, w*(y1-y0))
+	row := make([]byte, 2*w)
+	for y := y0; y < y1; y++ {
+		off := int64(2 * (y*X + x0))
+		if _, err := f.ReadAt(row, off); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("dataset: reading %s row %d: %w", ref.File, y, err)
+		}
+		base := (y - y0) * w
+		for i := 0; i < w; i++ {
+			out[base+i] = binary.LittleEndian.Uint16(row[2*i:])
+		}
+	}
+	return out, nil
+}
+
+// ReadVolume reads the entire dataset back into memory (the optimization
+// footnote 1 of the paper applies only to datasets that fit in memory; this
+// is also the test oracle).
+func (s *Store) ReadVolume() (*volume.Volume, error) {
+	v := volume.NewVolume(s.Meta.Dims)
+	for node := 0; node < s.Meta.Nodes; node++ {
+		refs, err := s.NodeIndex(node)
+		if err != nil {
+			return nil, err
+		}
+		for _, ref := range refs {
+			sl, err := s.ReadSlice(node, ref)
+			if err != nil {
+				return nil, err
+			}
+			copy(v.Slice(ref.Z, ref.T), sl)
+		}
+	}
+	return v, nil
+}
+
+// Validate checks that the union of all node indexes covers every (z, t)
+// slice exactly once and that each slice is on its round-robin owner node.
+func (s *Store) Validate() error {
+	seen := make(map[[2]int]int)
+	for node := 0; node < s.Meta.Nodes; node++ {
+		refs, err := s.NodeIndex(node)
+		if err != nil {
+			return err
+		}
+		for _, ref := range refs {
+			key := [2]int{ref.Z, ref.T}
+			if prev, dup := seen[key]; dup {
+				return fmt.Errorf("dataset: slice (z=%d, t=%d) indexed on nodes %d and %d", ref.Z, ref.T, prev, node)
+			}
+			seen[key] = node
+			if want := OwnerNode(&s.Meta, ref.Z, ref.T); want != node {
+				return fmt.Errorf("dataset: slice (z=%d, t=%d) on node %d, %v owner is %d", ref.Z, ref.T, node, s.Meta.Dist, want)
+			}
+		}
+	}
+	if want := s.Meta.Dims[2] * s.Meta.Dims[3]; len(seen) != want {
+		return fmt.Errorf("dataset: %d slices indexed, want %d", len(seen), want)
+	}
+	return nil
+}

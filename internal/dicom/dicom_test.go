@@ -1,0 +1,270 @@
+package dicom
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"haralick4d/internal/volume"
+)
+
+func testImage(seed int64, cols, rows int) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := &Image{
+		Rows: rows, Cols: cols,
+		Pixels:         make([]uint16, rows*cols),
+		InstanceNumber: 17,
+		Acquisition:    3,
+		SliceLocation:  5,
+		WindowCenter:   2048,
+		WindowWidth:    4096,
+	}
+	for i := range img.Pixels {
+		img.Pixels[i] = uint16(rng.Intn(4096))
+	}
+	return img
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := testImage(1, 13, 9) // odd sizes exercise padding
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != img.Rows || got.Cols != img.Cols ||
+		got.InstanceNumber != img.InstanceNumber || got.Acquisition != img.Acquisition ||
+		got.SliceLocation != img.SliceLocation ||
+		got.WindowCenter != img.WindowCenter || got.WindowWidth != img.WindowWidth {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, img)
+	}
+	for i := range img.Pixels {
+		if got.Pixels[i] != img.Pixels[i] {
+			t.Fatalf("pixel %d: %d != %d", i, got.Pixels[i], img.Pixels[i])
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary geometries and pixel
+// contents.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, colsRaw, rowsRaw uint8) bool {
+		cols := int(colsRaw%40) + 1
+		rows := int(rowsRaw%40) + 1
+		img := testImage(seed, cols, rows)
+		var buf bytes.Buffer
+		if Encode(&buf, img) != nil {
+			return false
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()), false)
+		if err != nil {
+			return false
+		}
+		if got.Rows != rows || got.Cols != cols {
+			return false
+		}
+		for i := range img.Pixels {
+			if got.Pixels[i] != img.Pixels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeHeaderOnly(t *testing.T) {
+	img := testImage(2, 32, 32)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pixels != nil {
+		t.Error("header-only decode materialized pixels")
+	}
+	if got.Rows != 32 || got.InstanceNumber != 17 {
+		t.Error("header fields missing")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     make([]byte, 64),
+		"bad magic": append(make([]byte, 128), []byte("NOPE")...),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data), false); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongSyntax(t *testing.T) {
+	img := testImage(3, 8, 8)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the transfer syntax UID in place.
+	i := bytes.Index(raw, []byte(ExplicitVRLittleEndian))
+	if i < 0 {
+		t.Fatal("syntax UID not found")
+	}
+	raw[i+len(ExplicitVRLittleEndian)-1] = '9'
+	if _, err := Decode(bytes.NewReader(raw), false); err == nil || !strings.Contains(err.Error(), "transfer syntax") {
+		t.Errorf("wrong syntax accepted: %v", err)
+	}
+}
+
+func TestDecodeTruncatedPixelData(t *testing.T) {
+	img := testImage(4, 16, 16)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-40]
+	if _, err := Decode(bytes.NewReader(raw), false); err == nil {
+		t.Error("truncated pixel data accepted")
+	}
+}
+
+func TestEncodeRejectsBadGeometry(t *testing.T) {
+	img := &Image{Rows: 4, Cols: 4, Pixels: make([]uint16, 3)}
+	if err := Encode(&bytes.Buffer{}, img); err == nil {
+		t.Error("mismatched geometry accepted")
+	}
+}
+
+func randomStudyVolume(seed int64, dims [4]int) *volume.Volume {
+	rng := rand.New(rand.NewSource(seed))
+	v := volume.NewVolume(dims)
+	for i := range v.Data {
+		v.Data[i] = uint16(rng.Intn(3000) + 50)
+	}
+	return v
+}
+
+func TestStudyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	v := randomStudyVolume(5, [4]int{10, 8, 3, 4})
+	if err := WriteStudy(dir, v, 3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStudy(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dims != v.Dims || st.Nodes != 3 {
+		t.Fatalf("study geometry %+v", st)
+	}
+	lo, hi := v.MinMax()
+	if st.Min > lo || st.Max < hi {
+		t.Errorf("window range [%d, %d] does not cover data range [%d, %d]", st.Min, st.Max, lo, hi)
+	}
+	back, err := st.ReadVolume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Data {
+		if back.Data[i] != v.Data[i] {
+			t.Fatalf("voxel %d: %d != %d", i, back.Data[i], v.Data[i])
+		}
+	}
+}
+
+func TestOpenStudyErrors(t *testing.T) {
+	if _, err := OpenStudy(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// A study with a missing slice is rejected.
+	dir := t.TempDir()
+	v := randomStudyVolume(6, [4]int{6, 6, 2, 2})
+	if err := WriteStudy(dir, v, 2); err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && strings.HasSuffix(p, ".dcm") && victim == "" {
+			victim = p
+		}
+		return nil
+	})
+	os.Remove(victim)
+	if _, err := OpenStudy(dir); err == nil {
+		t.Error("incomplete study accepted")
+	}
+}
+
+func TestOpenStudyRejectsMixedGeometry(t *testing.T) {
+	dir := t.TempDir()
+	v := randomStudyVolume(7, [4]int{6, 6, 1, 2})
+	if err := WriteStudy(dir, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Add a slice with different geometry claiming a new time step.
+	odd := testImage(8, 12, 12)
+	odd.Acquisition = 2
+	odd.SliceLocation = 0
+	f, err := os.Create(filepath.Join(dir, "node000", "odd.dcm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(f, odd); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenStudy(dir); err == nil {
+		t.Error("mixed-geometry study accepted")
+	}
+}
+
+func TestNodeSlicesBounds(t *testing.T) {
+	dir := t.TempDir()
+	v := randomStudyVolume(9, [4]int{4, 4, 1, 2})
+	if err := WriteStudy(dir, v, 2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStudy(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.NodeSlices(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := st.NodeSlices(2); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	s0, _ := st.NodeSlices(0)
+	s1, _ := st.NodeSlices(1)
+	if len(s0)+len(s1) != 2 {
+		t.Errorf("slice counts %d + %d", len(s0), len(s1))
+	}
+}
+
+func TestWriteStudyBadNodes(t *testing.T) {
+	v := randomStudyVolume(10, [4]int{2, 2, 1, 1})
+	if err := WriteStudy(t.TempDir(), v, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if TagPixelData.String() != "(7FE0,0010)" {
+		t.Errorf("Tag.String = %s", TagPixelData.String())
+	}
+}

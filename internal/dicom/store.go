@@ -1,0 +1,219 @@
+package dicom
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/volume"
+)
+
+// WriteStudy stores a 4D volume as a DICOM study declustered across nodes
+// storage-node subdirectories of dir, one single-frame DICOM file per 2D
+// slice, distributed round-robin exactly like the raw layout (§4.2). Unlike
+// the raw layout there is no index file: the slice geometry is recovered
+// from the DICOM headers themselves. The volume's global intensity range is
+// recorded in every file's window center/width so distributed readers
+// requantize consistently.
+func WriteStudy(dir string, v *volume.Volume, nodes int) error {
+	if nodes < 1 {
+		return fmt.Errorf("dicom: node count %d must be >= 1", nodes)
+	}
+	lo, hi := v.MinMax()
+	center := (float64(lo) + float64(hi)) / 2
+	width := float64(hi) - float64(lo)
+	if width < 1 {
+		width = 1
+	}
+	meta := &dataset.Meta{Dims: v.Dims, Nodes: nodes}
+	for t := 0; t < v.Dims[3]; t++ {
+		for z := 0; z < v.Dims[2]; z++ {
+			node := dataset.OwnerNode(meta, z, t)
+			ndir := filepath.Join(dir, fmt.Sprintf("node%03d", node))
+			if err := os.MkdirAll(ndir, 0o755); err != nil {
+				return fmt.Errorf("dicom: %w", err)
+			}
+			img := &Image{
+				Rows:           v.Dims[1],
+				Cols:           v.Dims[0],
+				Pixels:         v.Slice(z, t),
+				InstanceNumber: dataset.SliceID(meta, z, t),
+				Acquisition:    t,
+				SliceLocation:  float64(z),
+				WindowCenter:   center,
+				WindowWidth:    width,
+			}
+			name := fmt.Sprintf("img_t%04d_z%04d.dcm", t, z)
+			f, err := os.Create(filepath.Join(ndir, name))
+			if err != nil {
+				return fmt.Errorf("dicom: %w", err)
+			}
+			if err := Encode(f, img); err != nil {
+				f.Close()
+				return fmt.Errorf("dicom: encoding %s: %w", name, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("dicom: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// SliceFile locates one slice within a study.
+type SliceFile struct {
+	Path string
+	Z, T int
+}
+
+// Study is an opened DICOM study directory: the 4D geometry recovered from
+// the headers plus the per-node slice inventories.
+type Study struct {
+	Dir    string
+	Dims   [4]int
+	Nodes  int
+	Min    uint16 // from window center/width
+	Max    uint16
+	slices [][]SliceFile // per node, sorted by (T, Z)
+}
+
+// OpenStudy scans the node directories under dir, reads every DICOM header
+// (not the pixels), validates the study's consistency and returns its
+// geometry.
+func OpenStudy(dir string) (*Study, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dicom: %w", err)
+	}
+	var nodeDirs []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "node") {
+			nodeDirs = append(nodeDirs, e.Name())
+		}
+	}
+	if len(nodeDirs) == 0 {
+		return nil, fmt.Errorf("dicom: no node directories under %s", dir)
+	}
+	sort.Strings(nodeDirs)
+	st := &Study{Dir: dir, Nodes: len(nodeDirs), slices: make([][]SliceFile, len(nodeDirs))}
+
+	maxZ, maxT := -1, -1
+	type key struct{ z, t int }
+	seen := map[key]bool{}
+	for node, nd := range nodeDirs {
+		files, err := os.ReadDir(filepath.Join(dir, nd))
+		if err != nil {
+			return nil, fmt.Errorf("dicom: %w", err)
+		}
+		for _, fe := range files {
+			if fe.IsDir() || !strings.HasSuffix(fe.Name(), ".dcm") {
+				continue
+			}
+			path := filepath.Join(dir, nd, fe.Name())
+			img, err := readHeader(path)
+			if err != nil {
+				return nil, fmt.Errorf("dicom: %s: %w", path, err)
+			}
+			z := int(img.SliceLocation)
+			t := img.Acquisition
+			if z < 0 || t < 0 {
+				return nil, fmt.Errorf("dicom: %s has negative slice location or acquisition", path)
+			}
+			k := key{z, t}
+			if seen[k] {
+				return nil, fmt.Errorf("dicom: duplicate slice (z=%d, t=%d)", z, t)
+			}
+			seen[k] = true
+			if st.Dims[0] == 0 {
+				st.Dims[0], st.Dims[1] = img.Cols, img.Rows
+				lo := img.WindowCenter - img.WindowWidth/2
+				hi := img.WindowCenter + img.WindowWidth/2
+				st.Min = clampU16(lo)
+				st.Max = clampU16(hi)
+			} else if st.Dims[0] != img.Cols || st.Dims[1] != img.Rows {
+				return nil, fmt.Errorf("dicom: %s is %dx%d, study is %dx%d", path, img.Cols, img.Rows, st.Dims[0], st.Dims[1])
+			}
+			if z > maxZ {
+				maxZ = z
+			}
+			if t > maxT {
+				maxT = t
+			}
+			st.slices[node] = append(st.slices[node], SliceFile{Path: path, Z: z, T: t})
+		}
+	}
+	st.Dims[2], st.Dims[3] = maxZ+1, maxT+1
+	if want := st.Dims[2] * st.Dims[3]; len(seen) != want {
+		return nil, fmt.Errorf("dicom: study has %d slices, geometry needs %d", len(seen), want)
+	}
+	for node := range st.slices {
+		s := st.slices[node]
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].T != s[j].T {
+				return s[i].T < s[j].T
+			}
+			return s[i].Z < s[j].Z
+		})
+	}
+	return st, nil
+}
+
+func clampU16(v float64) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 65535 {
+		return 65535
+	}
+	return uint16(v)
+}
+
+func readHeader(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f, true)
+}
+
+// NodeSlices returns the slices stored on one node, sorted by (T, Z).
+func (s *Study) NodeSlices(node int) ([]SliceFile, error) {
+	if node < 0 || node >= s.Nodes {
+		return nil, fmt.Errorf("dicom: node %d out of range [0, %d)", node, s.Nodes)
+	}
+	return s.slices[node], nil
+}
+
+// ReadSlice loads one slice's pixels.
+func (s *Study) ReadSlice(sf SliceFile) ([]uint16, error) {
+	f, err := os.Open(sf.Path)
+	if err != nil {
+		return nil, fmt.Errorf("dicom: %w", err)
+	}
+	defer f.Close()
+	img, err := Decode(f, false)
+	if err != nil {
+		return nil, fmt.Errorf("dicom: %s: %w", sf.Path, err)
+	}
+	return img.Pixels, nil
+}
+
+// ReadVolume loads the whole study into memory (test oracle and
+// small-study convenience).
+func (s *Study) ReadVolume() (*volume.Volume, error) {
+	v := volume.NewVolume(s.Dims)
+	for node := 0; node < s.Nodes; node++ {
+		for _, sf := range s.slices[node] {
+			pix, err := s.ReadSlice(sf)
+			if err != nil {
+				return nil, err
+			}
+			copy(v.Slice(sf.Z, sf.T), pix)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// raceEnabled is set by race_off_test.go when the race detector is on.
+var raceEnabled bool
+
+// sharedEnv runs the full experiment suite once at tiny scale; the shape
+// assertions below all test against these figures. Skipped with -short and
+// under the race detector (both distort the timing the shapes depend on).
+func runAll(t *testing.T) map[string]*Figure {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing-based shape checks are not meaningful under the race detector")
+	}
+	env, err := Setup(TinyScale(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Repeats = 2 // jitter suppression without tripling the suite's runtime
+	figs, err := All(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]*Figure{}
+	for _, f := range figs {
+		m[f.ID] = f
+	}
+	return m
+}
+
+var figsOnce map[string]*Figure
+
+func figures(t *testing.T) map[string]*Figure {
+	if figsOnce == nil {
+		figsOnce = runAll(t)
+	}
+	return figsOnce
+}
+
+func series(t *testing.T, f *Figure, label string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series %q", f.ID, label)
+	return Series{}
+}
+
+// Figure 7a shape: in the HMP implementation the sparse representation is
+// slower than full where compute dominates (few processors), and both
+// curves fall as processors are added.
+func TestFig7aShape(t *testing.T) {
+	f := figures(t)["7a"]
+	full := series(t, f, "HMP full")
+	sparse := series(t, f, "HMP sparse")
+	if sparse.Y[0] <= full.Y[0] {
+		t.Errorf("sparse (%v) not slower than full (%v) at 1 processor", sparse.Y[0], full.Y[0])
+	}
+	if full.Y[len(full.Y)-1] >= full.Y[0] {
+		t.Errorf("HMP full did not speed up with processors: %v", full.Y)
+	}
+	if sparse.Y[len(sparse.Y)-1] >= sparse.Y[0] {
+		t.Errorf("HMP sparse did not speed up with processors: %v", sparse.Y)
+	}
+}
+
+// Figure 7b shape: in the split implementation the sparse representation
+// wins decisively once HCC and HPC are on separate nodes (the full
+// matrices' communication volume dominates).
+func TestFig7bShape(t *testing.T) {
+	f := figures(t)["7b"]
+	full := series(t, f, "HCC+HPC full")
+	sparse := series(t, f, "HCC+HPC sparse")
+	for i := 1; i < len(full.Y); i++ { // skip the 1-node co-located point
+		if sparse.Y[i] >= full.Y[i] {
+			t.Errorf("at %v processors sparse (%v) not faster than full (%v)", full.X[i], sparse.Y[i], full.Y[i])
+		}
+	}
+}
+
+// Figure 8 shape: co-locating HCC and HPC beats running them on separate
+// node sets.
+func TestFig8Shape(t *testing.T) {
+	f := figures(t)["8"]
+	noOv := series(t, f, "HCC+HPC No Overlap")
+	ov := series(t, f, "HCC+HPC All Overlap")
+	better := 0
+	for i := 1; i < len(ov.Y); i++ {
+		if ov.Y[i] < noOv.Y[i] {
+			better++
+		}
+	}
+	if better < len(ov.Y)-2 {
+		t.Errorf("Overlap not consistently better: overlap=%v, no-overlap=%v", ov.Y, noOv.Y)
+	}
+}
+
+// Figure 9 shape: HCC dominates and scales down with processors; input and
+// output filters are negligible next to it.
+func TestFig9Shape(t *testing.T) {
+	f := figures(t)["9"]
+	hcc := series(t, f, "HCC")
+	rfr := series(t, f, "RFR")
+	out := series(t, f, "OUT")
+	if hcc.Y[len(hcc.Y)-1] >= hcc.Y[0] {
+		t.Errorf("HCC per-copy time did not fall: %v", hcc.Y)
+	}
+	if rfr.Y[0] > hcc.Y[0]/5 || out.Y[0] > hcc.Y[0]/5 {
+		t.Errorf("read/write overheads not negligible: rfr=%v out=%v hcc=%v", rfr.Y[0], out.Y[0], hcc.Y[0])
+	}
+}
+
+// Figure 10 sanity: both variants complete in comparable virtual time (the
+// decisive split-wins margin appears at the larger scales; at tiny scale we
+// only require the split implementation not to collapse).
+func TestFig10Sanity(t *testing.T) {
+	f := figures(t)["10"]
+	if !f.Bars() || len(f.Series) != 2 {
+		t.Fatalf("unexpected figure: %+v", f)
+	}
+	hmp, split := f.Series[0].Y[0], f.Series[1].Y[0]
+	if hmp <= 0 || split <= 0 {
+		t.Fatal("non-positive times")
+	}
+	if split > 3*hmp {
+		t.Errorf("split (%v) collapsed vs HMP (%v)", split, hmp)
+	}
+}
+
+// Figure 11 shape: demand-driven is at least as fast as round-robin on the
+// heterogeneous clusters.
+func TestFig11Shape(t *testing.T) {
+	f := figures(t)["11"]
+	rr := series(t, f, "round-robin").Y[0]
+	dd := series(t, f, "demand-driven").Y[0]
+	if dd > rr*1.1 {
+		t.Errorf("demand-driven (%v) clearly slower than round-robin (%v)", dd, rr)
+	}
+}
+
+// The sparsity statistic: matrices on MRI-like data are a few percent
+// dense, in the paper's ballpark.
+func TestDensityShape(t *testing.T) {
+	f := figures(t)["density"]
+	mean := f.Series[0].Y[0]
+	if mean < 2 || mean > 80 {
+		t.Errorf("implausible mean entries %v", mean)
+	}
+	g := 32.0
+	if mean/(g*g) > 0.08 {
+		t.Errorf("density %.3f not sparse", mean/(g*g))
+	}
+}
+
+// Zero-skip gives a multiple-x speedup and the sparse form is at least as
+// fast as zero-skip (fewer terms to visit).
+func TestZeroSkipShape(t *testing.T) {
+	f := figures(t)["zeroskip"]
+	noskip := series(t, f, "full, no zero test").Y[0]
+	skip := series(t, f, "full, zero-skip").Y[0]
+	sp := series(t, f, "sparse form").Y[0]
+	if noskip/skip < 2 {
+		t.Errorf("zero-skip speedup only %.2fx", noskip/skip)
+	}
+	if sp > skip*1.5 {
+		t.Errorf("sparse parameter calculation (%v) much slower than zero-skip (%v)", sp, skip)
+	}
+}
+
+// IIC replication: per-copy time decreases with copies.
+func TestIICScalingShape(t *testing.T) {
+	f := figures(t)["iic"]
+	s := f.Series[0]
+	if s.Y[len(s.Y)-1] > s.Y[0] {
+		t.Errorf("IIC per-copy time rose with copies: %v", s.Y)
+	}
+}
+
+// Direction ablation: cost increases with the direction-set size and the
+// x axis hits the canonical counts.
+func TestDirectionsShape(t *testing.T) {
+	f := figures(t)["dirs"]
+	s := f.Series[0]
+	wantX := []float64{1, 4, 13, 40}
+	for i, x := range wantX {
+		if s.X[i] != x {
+			t.Errorf("X[%d] = %v, want %v", i, s.X[i], x)
+		}
+	}
+	if s.Y[3] <= s.Y[0] {
+		t.Errorf("40 directions (%v) not costlier than 1 (%v)", s.Y[3], s.Y[0])
+	}
+}
+
+// Chunk-size ablation: the smallest chunk (max overlap duplication) is
+// worse than the best chunk.
+func TestChunkShapeAblation(t *testing.T) {
+	f := figures(t)["chunk"]
+	s := f.Series[0]
+	best := s.Y[0]
+	for _, y := range s.Y {
+		if y < best {
+			best = y
+		}
+	}
+	if s.Y[0] <= best {
+		t.Errorf("smallest chunk (%v) should pay an overlap penalty over the best (%v)", s.Y[0], best)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := &Figure{
+		ID: "x", Title: "t", XLabel: "n", YLabel: "s",
+		Series: []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}}},
+		Notes:  []string{"hello"},
+	}
+	if fig.Bars() {
+		t.Error("line figure classified as bars")
+	}
+	str := fig.String()
+	if !strings.Contains(str, "Figure x") || !strings.Contains(str, "hello") {
+		t.Errorf("bad rendering: %s", str)
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "n,a") || !strings.Contains(csv, "1,3") {
+		t.Errorf("bad CSV: %s", csv)
+	}
+	bars := &Figure{ID: "y", Series: []Series{{Label: "b", Y: []float64{7}}}}
+	if !bars.Bars() {
+		t.Error("bar figure not classified")
+	}
+	if !strings.Contains(bars.String(), "b") || !strings.Contains(bars.CSV(), "b,7") {
+		t.Error("bad bar rendering")
+	}
+	if v, ok := fig.seriesValue("a", 1); !ok || v != 4 {
+		t.Error("seriesValue failed")
+	}
+	if _, ok := fig.seriesValue("nope", 0); ok {
+		t.Error("seriesValue found missing series")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "paper"} {
+		sc, err := ScaleByName(name)
+		if err != nil || sc.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, sc, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	env := &Env{}
+	if _, err := ByID(env, "nope"); err == nil {
+		t.Error("unknown figure id accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one curve (or one bar, when X is empty) of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a regenerated evaluation result: one or more series plus notes
+// comparing against what the paper reports.
+type Figure struct {
+	ID     string // e.g. "7a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Bars reports whether the figure is categorical (every series is a single
+// value, as in the paper's Figures 10 and 11).
+func (f *Figure) Bars() bool {
+	for _, s := range f.Series {
+		if len(s.X) != 0 || len(s.Y) != 1 {
+			return false
+		}
+	}
+	return len(f.Series) > 0
+}
+
+// String renders the figure as an aligned text table.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", f.ID, f.Title)
+	if f.Bars() {
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "  %-28s %12.3f %s\n", s.Label, s.Y[0], f.YLabel)
+		}
+	} else {
+		fmt.Fprintf(&b, "  %-14s", f.XLabel)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %16s", s.Label)
+		}
+		b.WriteByte('\n')
+		if len(f.Series) > 0 {
+			for i, x := range f.Series[0].X {
+				fmt.Fprintf(&b, "  %-14g", x)
+				for _, s := range f.Series {
+					if i < len(s.Y) {
+						fmt.Fprintf(&b, " %16.3f", s.Y[i])
+					} else {
+						fmt.Fprintf(&b, " %16s", "-")
+					}
+				}
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "  (y: %s)\n", f.YLabel)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values for plotting.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	if f.Bars() {
+		b.WriteString("label,value\n")
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%s,%g\n", s.Label, s.Y[0])
+		}
+		return b.String()
+	}
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) > 0 {
+		for i, x := range f.Series[0].X {
+			fmt.Fprintf(&b, "%g", x)
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&b, ",%g", s.Y[i])
+				} else {
+					b.WriteString(",")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// seriesValue returns the y value of the labeled series at index i (helper
+// for tests and EXPERIMENTS.md generation).
+func (f *Figure) seriesValue(label string, i int) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Label == label && i < len(s.Y) {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}

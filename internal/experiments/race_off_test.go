@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// The experiment shape checks compare virtual times derived from measured
+// host compute; the race detector inflates different code paths by
+// different factors, making those comparisons meaningless.
+func init() { raceEnabled = true }

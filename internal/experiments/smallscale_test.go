@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestReferenceRun regenerates every figure at the small scale and writes
+// the results to the path in HARALICK4D_REF_OUT; used to produce the
+// EXPERIMENTS.md reference numbers. Skipped unless the variable is set.
+func TestReferenceRun(t *testing.T) {
+	out := os.Getenv("HARALICK4D_REF_OUT")
+	if out == "" {
+		t.Skip("set HARALICK4D_REF_OUT to run the reference sweep")
+	}
+	env, err := Setup(SmallScale(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := All(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, fig := range figs {
+		if _, err := f.WriteString(fig.String() + "\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures an in-process engine run.
+type Options struct {
+	// QueueDepth bounds each filter copy's input queue (stream
+	// backpressure). Default 32 buffers.
+	QueueDepth int
+}
+
+func (o *Options) depth() int {
+	if o == nil || o.QueueDepth <= 0 {
+		return 32
+	}
+	return o.QueueDepth
+}
+
+// RunLocal executes the graph with every filter copy as a goroutine and all
+// streams as in-memory queues — full shared-memory parallelism, the
+// configuration DataCutter uses for co-located filters. Placement is
+// recorded in the stats but has no performance meaning locally.
+func RunLocal(g *Graph, opts *Options) (*RunStats, error) {
+	rt, err := newRuntime(g, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rt.run()
+}
+
+// inMsg is one queue element: a buffer or an end-of-stream marker.
+type inMsg struct {
+	port    string
+	payload Payload
+	eos     bool
+}
+
+// copyState is the runtime state of one filter copy.
+type copyState struct {
+	filter    string
+	copyIdx   int
+	node      int
+	inbox     chan inMsg
+	pending   atomic.Int64 // buffers queued + in flight
+	eosExpect map[string]int
+	stats     CopyStats
+
+	// Consumption-rate observations for demand-driven scheduling, updated
+	// by the consumer goroutine and read by producers.
+	svcCompute atomic.Int64 // total compute ns
+	svcMsgs    atomic.Int64 // messages consumed
+}
+
+// connState is the runtime state of one connection.
+type connState struct {
+	spec      ConnSpec
+	consumers []*copyState
+	rr        atomic.Uint64
+}
+
+// transport delivers a message to a consumer copy that is placed on a
+// different node than the producer. A nil transport (pure local engine)
+// delivers everything through memory.
+type transport interface {
+	// deliver must block until the message is queued at the consumer
+	// (providing backpressure) and return an error on transport failure.
+	deliver(from *copyState, to *copyState, m inMsg) error
+	// close tears the transport down after the run.
+	close() error
+}
+
+// runtime is the shared in-process engine used by both the local and TCP
+// modes.
+type runtime struct {
+	graph  *Graph
+	copies map[string][]*copyState
+	conns  map[string]*connState // key: from + "." + fromPort
+	trans  transport
+
+	done     chan struct{}
+	stopOnce sync.Once
+	errMu    sync.Mutex
+	firstErr error
+}
+
+func newRuntime(g *Graph, opts *Options, trans transport) (*runtime, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &runtime{
+		graph:  g,
+		copies: make(map[string][]*copyState),
+		conns:  make(map[string]*connState),
+		trans:  trans,
+		done:   make(chan struct{}),
+	}
+	depth := opts.depth()
+	for _, fs := range g.Filters {
+		states := make([]*copyState, fs.Copies)
+		for i := range states {
+			states[i] = &copyState{
+				filter:    fs.Name,
+				copyIdx:   i,
+				node:      fs.Nodes[i],
+				inbox:     make(chan inMsg, depth),
+				eosExpect: map[string]int{},
+			}
+			states[i].stats.Node = fs.Nodes[i]
+		}
+		rt.copies[fs.Name] = states
+	}
+	for _, c := range g.Conns {
+		producer, _ := g.Filter(c.From)
+		cs := &connState{spec: c, consumers: rt.copies[c.To]}
+		rt.conns[c.From+"."+c.FromPort] = cs
+		for _, consumer := range rt.copies[c.To] {
+			consumer.eosExpect[c.ToPort] += producer.Copies
+		}
+	}
+	return rt, nil
+}
+
+func (rt *runtime) fail(err error) {
+	rt.errMu.Lock()
+	if rt.firstErr == nil {
+		rt.firstErr = err
+	}
+	rt.errMu.Unlock()
+	rt.stopOnce.Do(func() { close(rt.done) })
+}
+
+var errStopped = errors.New("filter: run aborted")
+
+// run executes every filter copy and waits for completion.
+func (rt *runtime) run() (*RunStats, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, fs := range rt.graph.Filters {
+		fs := fs
+		for i := 0; i < fs.Copies; i++ {
+			st := rt.copies[fs.Name][i]
+			ctx := &localCtx{rt: rt, st: st}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx.lastMark = time.Now()
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							err = fmt.Errorf("filter: %s[%d] panicked: %v", st.filter, st.copyIdx, r)
+						}
+					}()
+					return fs.New(st.copyIdx).Run(ctx)
+				}()
+				ctx.closeCompute()
+				if err != nil && !errors.Is(err, errStopped) {
+					rt.fail(fmt.Errorf("filter %s[%d]: %w", st.filter, st.copyIdx, err))
+					return
+				}
+				// Signal end-of-stream on every outgoing connection.
+				for _, c := range rt.graph.ConnsFrom(st.filter) {
+					cs := rt.conns[c.From+"."+c.FromPort]
+					for _, consumer := range cs.consumers {
+						if derr := rt.deliver(st, consumer, inMsg{port: c.ToPort, eos: true}); derr != nil {
+							if !errors.Is(derr, errStopped) {
+								rt.fail(derr)
+							}
+							return
+						}
+					}
+				}
+				// Drain any input this copy chose not to consume, so that
+				// upstream producers blocked on our full inbox make
+				// progress (a filter may legitimately finish early).
+				rt.drain(st, ctx)
+			}()
+		}
+	}
+	wg.Wait()
+	if rt.trans != nil {
+		if cerr := rt.trans.close(); cerr != nil && rt.firstErr == nil {
+			rt.firstErr = cerr
+		}
+	}
+	stats := &RunStats{Elapsed: time.Since(start), Copies: map[string][]CopyStats{}}
+	for name, states := range rt.copies {
+		out := make([]CopyStats, len(states))
+		for i, st := range states {
+			out[i] = st.stats
+		}
+		stats.Copies[name] = out
+	}
+	if rt.firstErr != nil {
+		return stats, rt.firstErr
+	}
+	return stats, nil
+}
+
+// drain consumes and discards leftover inbox traffic after a copy's Run has
+// returned, until every expected end-of-stream marker has arrived.
+func (rt *runtime) drain(st *copyState, ctx *localCtx) {
+	expect := 0
+	for _, n := range st.eosExpect {
+		expect += n
+	}
+	seen := 0
+	for _, n := range ctx.eosSeen {
+		seen += n
+	}
+	for seen < expect {
+		select {
+		case m := <-st.inbox:
+			if m.eos {
+				seen++
+			} else {
+				st.pending.Add(-1)
+			}
+		case <-rt.done:
+			return
+		}
+	}
+}
+
+// deliver routes a message to the consumer copy, through memory when
+// co-located (pointer hand-off) or through the transport when the producer
+// and consumer are on different nodes.
+func (rt *runtime) deliver(from, to *copyState, m inMsg) error {
+	if !m.eos {
+		to.pending.Add(1)
+	}
+	if rt.trans != nil && from.node != to.node {
+		if err := rt.trans.deliver(from, to, m); err != nil {
+			if !m.eos {
+				to.pending.Add(-1)
+			}
+			return err
+		}
+		return nil
+	}
+	select {
+	case to.inbox <- m:
+		return nil
+	case <-rt.done:
+		if !m.eos {
+			to.pending.Add(-1)
+		}
+		return errStopped
+	}
+}
+
+// enqueueLocal is used by transports on the receiving side.
+func (rt *runtime) enqueueLocal(to *copyState, m inMsg) error {
+	select {
+	case to.inbox <- m:
+		return nil
+	case <-rt.done:
+		return errStopped
+	}
+}
+
+// localCtx implements Context for the in-process engines.
+type localCtx struct {
+	rt *runtime
+	st *copyState
+
+	lastMark time.Time // start of the current compute segment
+	eosSeen  map[string]int
+	openIn   int // ports still expecting data; -1 = uninitialized
+}
+
+func (c *localCtx) FilterName() string { return c.st.filter }
+func (c *localCtx) CopyIndex() int     { return c.st.copyIdx }
+func (c *localCtx) NumCopies() int     { return len(c.rt.copies[c.st.filter]) }
+func (c *localCtx) Node() int          { return c.st.node }
+
+func (c *localCtx) ConsumerCopies(port string) int {
+	cs, ok := c.rt.conns[c.st.filter+"."+port]
+	if !ok {
+		return 0
+	}
+	return len(cs.consumers)
+}
+
+// markCompute closes the current compute segment and returns the current
+// time, which the caller uses to time the blocking section.
+func (c *localCtx) markCompute() time.Time {
+	now := time.Now()
+	d := now.Sub(c.lastMark)
+	c.st.stats.Compute += d
+	c.st.svcCompute.Add(int64(d))
+	return now
+}
+
+func (c *localCtx) closeCompute() { c.markCompute() }
+
+func (c *localCtx) Recv() (Msg, bool) {
+	if c.eosSeen == nil {
+		c.eosSeen = map[string]int{}
+		c.openIn = 0
+		for _, n := range c.st.eosExpect {
+			if n > 0 {
+				c.openIn++
+			}
+		}
+	}
+	blockStart := c.markCompute()
+	defer func() {
+		now := time.Now()
+		c.st.stats.BlockRecv += now.Sub(blockStart)
+		c.lastMark = now
+	}()
+	for c.openIn > 0 {
+		var m inMsg
+		select {
+		case m = <-c.st.inbox:
+		case <-c.rt.done:
+			return Msg{}, false
+		}
+		if m.eos {
+			c.eosSeen[m.port]++
+			if c.eosSeen[m.port] == c.st.eosExpect[m.port] {
+				c.openIn--
+			}
+			continue
+		}
+		c.st.pending.Add(-1)
+		c.st.stats.MsgsIn++
+		c.st.svcMsgs.Add(1)
+		c.st.stats.BytesIn += int64(m.payload.SizeBytes())
+		return Msg{Port: m.port, Payload: m.payload}, true
+	}
+	return Msg{}, false
+}
+
+func (c *localCtx) Send(port string, p Payload) error {
+	cs, ok := c.rt.conns[c.st.filter+"."+port]
+	if !ok {
+		return fmt.Errorf("filter: %s has no connection on port %q", c.st.filter, port)
+	}
+	var target *copyState
+	switch cs.spec.Policy {
+	case RoundRobin:
+		target = cs.consumers[int(cs.rr.Add(1)-1)%len(cs.consumers)]
+	case DemandDriven:
+		// DataCutter's demand-driven scheduler assigns each buffer based on
+		// the copies' buffer consumption rates. Estimate each copy's
+		// completion time for this buffer as (queue+1) × its observed mean
+		// service time, preferring a co-located copy on ties (it receives
+		// the buffer by pointer hand-off).
+		best := cs.consumers[0]
+		bestScore := ddScore(best, c.st.node)
+		for _, cand := range cs.consumers[1:] {
+			if s := ddScore(cand, c.st.node); s < bestScore {
+				best, bestScore = cand, s
+			}
+		}
+		target = best
+	case Explicit:
+		return fmt.Errorf("filter: port %s.%s is explicit; use SendTo", c.st.filter, port)
+	}
+	return c.send(cs, target, port, p)
+}
+
+func (c *localCtx) SendTo(port string, copy int, p Payload) error {
+	cs, ok := c.rt.conns[c.st.filter+"."+port]
+	if !ok {
+		return fmt.Errorf("filter: %s has no connection on port %q", c.st.filter, port)
+	}
+	if copy < 0 || copy >= len(cs.consumers) {
+		return fmt.Errorf("filter: %s.%s copy %d out of range [0, %d)", c.st.filter, port, copy, len(cs.consumers))
+	}
+	return c.send(cs, cs.consumers[copy], port, p)
+}
+
+// ddScore estimates a copy's completion time for one more buffer:
+// (queue+1) × mean observed service time, in nanoseconds, doubled so that a
+// one-unit remote penalty acts purely as a locality tie-break. Copies with
+// no history score by queue length alone.
+func ddScore(cand *copyState, fromNode int) int64 {
+	svc := int64(1)
+	if n := cand.svcMsgs.Load(); n > 0 {
+		if s := cand.svcCompute.Load() / n; s > svc {
+			svc = s
+		}
+	}
+	score := (cand.pending.Load() + 1) * svc * 2
+	if cand.node != fromNode {
+		score++
+	}
+	return score
+}
+
+func (c *localCtx) send(cs *connState, target *copyState, port string, p Payload) error {
+	if p == nil {
+		return fmt.Errorf("filter: %s sent nil payload on %q", c.st.filter, port)
+	}
+	blockStart := c.markCompute()
+	err := c.rt.deliver(c.st, target, inMsg{port: cs.spec.ToPort, payload: p})
+	now := time.Now()
+	c.st.stats.BlockSend += now.Sub(blockStart)
+	c.lastMark = now
+	if err != nil {
+		return err
+	}
+	c.st.stats.MsgsOut++
+	c.st.stats.BytesOut += int64(p.SizeBytes())
+	return nil
+}

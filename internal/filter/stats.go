@@ -1,0 +1,90 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CopyStats aggregates one filter copy's activity during a run. Compute is
+// the wall time the copy spent executing filter code between context calls;
+// BlockRecv and BlockSend are the times spent blocked on empty inputs and
+// full outputs respectively. Under the simulated-cluster engine all three
+// are in virtual time.
+type CopyStats struct {
+	Node      int
+	Compute   time.Duration
+	BlockRecv time.Duration
+	BlockSend time.Duration
+	MsgsIn    int64
+	MsgsOut   int64
+	BytesIn   int64
+	BytesOut  int64
+}
+
+// RunStats is the result of an engine run: per-filter per-copy statistics
+// plus the end-to-end execution time (virtual time under simulation).
+type RunStats struct {
+	Elapsed time.Duration
+	Copies  map[string][]CopyStats
+}
+
+// FilterCompute returns the total compute time across all copies of the
+// named filter — the paper's "processing time of each filter" (Fig. 9 plots
+// the per-copy average; see MeanCompute).
+func (s *RunStats) FilterCompute(name string) time.Duration {
+	var sum time.Duration
+	for _, c := range s.Copies[name] {
+		sum += c.Compute
+	}
+	return sum
+}
+
+// MeanCompute returns the average per-copy compute time of the named
+// filter.
+func (s *RunStats) MeanCompute(name string) time.Duration {
+	copies := s.Copies[name]
+	if len(copies) == 0 {
+		return 0
+	}
+	return s.FilterCompute(name) / time.Duration(len(copies))
+}
+
+// BytesSent returns the total bytes emitted by all copies of the named
+// filter.
+func (s *RunStats) BytesSent(name string) int64 {
+	var sum int64
+	for _, c := range s.Copies[name] {
+		sum += c.BytesOut
+	}
+	return sum
+}
+
+// String renders a compact per-filter summary table.
+func (s *RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed %v\n", s.Elapsed)
+	names := make([]string, 0, len(s.Copies))
+	for n := range s.Copies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		copies := s.Copies[n]
+		var cs CopyStats
+		for _, c := range copies {
+			cs.Compute += c.Compute
+			cs.BlockRecv += c.BlockRecv
+			cs.BlockSend += c.BlockSend
+			cs.MsgsIn += c.MsgsIn
+			cs.MsgsOut += c.MsgsOut
+			cs.BytesIn += c.BytesIn
+			cs.BytesOut += c.BytesOut
+		}
+		fmt.Fprintf(&b, "%-6s copies=%-3d compute=%-12v recv-wait=%-12v send-wait=%-12v in=%d/%dB out=%d/%dB\n",
+			n, len(copies), cs.Compute.Round(time.Microsecond), cs.BlockRecv.Round(time.Microsecond),
+			cs.BlockSend.Round(time.Microsecond), cs.MsgsIn, cs.BytesIn, cs.MsgsOut, cs.BytesOut)
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package filter
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// RunTCP executes the graph with one loopback TCP endpoint per node:
+// buffers between co-located filter copies are handed over by pointer
+// exactly as in RunLocal, while buffers crossing nodes are gob-serialized
+// and travel through real TCP sockets — the transport split DataCutter
+// makes between co-located and remote filters.
+//
+// All filter copies still run in this process (each node is a router, not a
+// separate OS process), so the engine exercises real serialization and
+// kernel socket behaviour while remaining a single testable binary. Payload
+// types crossing nodes must be registered with encoding/gob.
+func RunTCP(g *Graph, opts *Options) (*RunStats, error) {
+	rt, err := newRuntime(g, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := newTCPTransport(rt, g.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	rt.trans = tr
+	stats, err := rt.run()
+	tr.wait()
+	return stats, err
+}
+
+// envelope is the wire format of one buffer crossing nodes.
+type envelope struct {
+	ToFilter string
+	ToCopy   int
+	Port     string
+	EOS      bool
+	Payload  Payload
+}
+
+func init() { gob.Register(envelope{}) }
+
+// tcpTransport maintains one TCP connection per ordered node pair that the
+// graph actually uses, created lazily on first send.
+type tcpTransport struct {
+	rt        *runtime
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex
+	conns map[[2]int]*tcpConn
+
+	recvWG   sync.WaitGroup
+	closed   bool
+	closeErr error
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+func newTCPTransport(rt *runtime, nodes int) (*tcpTransport, error) {
+	tr := &tcpTransport{rt: rt, conns: map[[2]int]*tcpConn{}}
+	for i := 0; i < nodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tr.close()
+			return nil, fmt.Errorf("filter: tcp listen: %w", err)
+		}
+		tr.listeners = append(tr.listeners, ln)
+		tr.addrs = append(tr.addrs, ln.Addr().String())
+		tr.recvWG.Add(1)
+		go tr.acceptLoop(ln)
+	}
+	return tr, nil
+}
+
+func (tr *tcpTransport) acceptLoop(ln net.Listener) {
+	defer tr.recvWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		tr.recvWG.Add(1)
+		go tr.recvLoop(conn)
+	}
+}
+
+func (tr *tcpTransport) recvLoop(conn net.Conn) {
+	defer tr.recvWG.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !tr.isClosed() {
+				tr.rt.fail(fmt.Errorf("filter: tcp decode: %w", err))
+			}
+			return
+		}
+		copies, ok := tr.rt.copies[env.ToFilter]
+		if !ok || env.ToCopy < 0 || env.ToCopy >= len(copies) {
+			tr.rt.fail(fmt.Errorf("filter: tcp envelope for unknown copy %s[%d]", env.ToFilter, env.ToCopy))
+			return
+		}
+		m := inMsg{port: env.Port, payload: env.Payload, eos: env.EOS}
+		if err := tr.rt.enqueueLocal(copies[env.ToCopy], m); err != nil {
+			return // run aborted
+		}
+	}
+}
+
+func (tr *tcpTransport) isClosed() bool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.closed
+}
+
+// connTo returns (dialing if necessary) the connection from one node to
+// another.
+func (tr *tcpTransport) connTo(from, to int) (*tcpConn, error) {
+	key := [2]int{from, to}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.closed {
+		return nil, errStopped
+	}
+	if c, ok := tr.conns[key]; ok {
+		return c, nil
+	}
+	conn, err := net.Dial("tcp", tr.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("filter: tcp dial node %d: %w", to, err)
+	}
+	c := &tcpConn{c: conn, enc: gob.NewEncoder(conn)}
+	tr.conns[key] = c
+	return c, nil
+}
+
+func (tr *tcpTransport) deliver(from, to *copyState, m inMsg) error {
+	c, err := tr.connTo(from.node, to.node)
+	if err != nil {
+		return err
+	}
+	env := envelope{ToFilter: to.filter, ToCopy: to.copyIdx, Port: m.port, EOS: m.eos, Payload: m.payload}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(env); err != nil {
+		return fmt.Errorf("filter: tcp encode to %s[%d]: %w", to.filter, to.copyIdx, err)
+	}
+	return nil
+}
+
+func (tr *tcpTransport) close() error {
+	tr.mu.Lock()
+	if tr.closed {
+		tr.mu.Unlock()
+		return tr.closeErr
+	}
+	tr.closed = true
+	for _, ln := range tr.listeners {
+		if err := ln.Close(); err != nil && tr.closeErr == nil {
+			tr.closeErr = err
+		}
+	}
+	for _, c := range tr.conns {
+		if err := c.c.Close(); err != nil && tr.closeErr == nil {
+			tr.closeErr = err
+		}
+	}
+	tr.mu.Unlock()
+	return tr.closeErr
+}
+
+// wait blocks until all receive loops have exited (after close).
+func (tr *tcpTransport) wait() { tr.recvWG.Wait() }

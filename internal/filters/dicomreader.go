@@ -1,0 +1,69 @@
+package filters
+
+import (
+	"fmt"
+
+	"haralick4d/internal/dicom"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/volume"
+)
+
+// DFRConfig configures the DICOMFileReader filter — the drop-in replacement
+// for RFR that the paper names as the natural extension ("the filter
+// developed to read in raw DCE-MRI data may be easily replaced by a filter
+// which reads DICOM format images", §4.3). One copy runs per storage node.
+type DFRConfig struct {
+	Study      *dicom.Study
+	Chunker    *volume.Chunker
+	GrayLevels int
+}
+
+// NewDFR returns the DICOMFileReader factory. Each copy decodes the DICOM
+// slices owned by its storage node, requantizes them with the study-global
+// window, cuts each slice into the pieces needed by each intersecting
+// texture chunk, and routes every piece explicitly to the IIC copy that
+// assembles that chunk — the same stream contract as RFR, so the rest of
+// the pipeline is unchanged.
+func NewDFR(cfg DFRConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			st := cfg.Study
+			iicCopies := ctx.ConsumerCopies(PortOut)
+			if iicCopies == 0 {
+				return fmt.Errorf("filters: DFR output not connected")
+			}
+			slices, err := st.NodeSlices(ctx.CopyIndex())
+			if err != nil {
+				return err
+			}
+			chunks := cfg.Chunker.Chunks()
+			X, Y := st.Dims[0], st.Dims[1]
+			for _, sf := range slices {
+				pix, err := st.ReadSlice(sf)
+				if err != nil {
+					return err
+				}
+				window := volume.NewRegion(volume.Box{
+					Lo: [4]int{0, 0, sf.Z, sf.T},
+					Hi: [4]int{X, Y, sf.Z + 1, sf.T + 1},
+				})
+				for i, v := range pix {
+					window.Data[i] = volume.QuantizeValue(v, cfg.GrayLevels, st.Min, st.Max)
+				}
+				for _, ch := range chunks {
+					inter, ok := ch.Voxels.Intersect(window.Box)
+					if !ok {
+						continue
+					}
+					piece := volume.NewRegion(inter)
+					piece.CopyFrom(window)
+					msg := &PieceMsg{Chunk: ch.Index, Region: piece}
+					if err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}
+}

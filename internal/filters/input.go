@@ -1,0 +1,180 @@
+package filters
+
+import (
+	"fmt"
+
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/volume"
+)
+
+// chunkOwnerIIC returns the IIC copy responsible for assembling the given
+// texture chunk: chunks are dealt round-robin across the explicit IIC
+// copies (paper §5.2, "round robin distribution of RFR-to-IIC chunks across
+// multiple copies of the IIC filter").
+func chunkOwnerIIC(chunk, iicCopies int) int { return chunk % iicCopies }
+
+// RFRConfig configures the RAWFileReader filter. One RFR copy runs per
+// storage node; copy index i serves storage node i.
+type RFRConfig struct {
+	Store   *dataset.Store
+	Chunker *volume.Chunker
+	// GrayLevels requantizes pixels during the read using the dataset's
+	// global min/max, so only 1-byte gray levels travel the streams.
+	GrayLevels int
+	// IOChunk is the (x, y) window read per positioned I/O; {0, 0} reads
+	// whole slices ("a RFR filter can read one image slice without any disk
+	// seek operations").
+	IOChunk [2]int
+}
+
+// NewRFR returns the RFR factory. The filter reads the 2D slices owned by
+// its storage node, requantizes them, cuts each I/O window into the pieces
+// needed by each intersecting texture chunk, and routes every piece
+// explicitly to the IIC copy that assembles that chunk.
+func NewRFR(cfg RFRConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			st := cfg.Store
+			meta := &st.Meta
+			iicCopies := ctx.ConsumerCopies(PortOut)
+			if iicCopies == 0 {
+				return fmt.Errorf("filters: RFR output not connected")
+			}
+			refs, err := st.NodeIndex(ctx.CopyIndex())
+			if err != nil {
+				return err
+			}
+			X, Y := meta.Dims[0], meta.Dims[1]
+			iox, ioy := cfg.IOChunk[0], cfg.IOChunk[1]
+			if iox <= 0 || iox > X {
+				iox = X
+			}
+			if ioy <= 0 || ioy > Y {
+				ioy = Y
+			}
+			chunks := cfg.Chunker.Chunks()
+			for _, ref := range refs {
+				for y0 := 0; y0 < Y; y0 += ioy {
+					y1 := min(y0+ioy, Y)
+					for x0 := 0; x0 < X; x0 += iox {
+						x1 := min(x0+iox, X)
+						raw, err := st.ReadSliceRegion(ctx.CopyIndex(), ref, x0, x1, y0, y1)
+						if err != nil {
+							return err
+						}
+						window := volume.NewRegion(volume.Box{
+							Lo: [4]int{x0, y0, ref.Z, ref.T},
+							Hi: [4]int{x1, y1, ref.Z + 1, ref.T + 1},
+						})
+						for i, v := range raw {
+							window.Data[i] = volume.QuantizeValue(v, cfg.GrayLevels, meta.Min, meta.Max)
+						}
+						for _, ch := range chunks {
+							inter, ok := ch.Voxels.Intersect(window.Box)
+							if !ok {
+								continue
+							}
+							piece := volume.NewRegion(inter)
+							piece.CopyFrom(window)
+							msg := &PieceMsg{Chunk: ch.Index, Region: piece}
+							if err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg); err != nil {
+								return err
+							}
+						}
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// IICConfig configures the InputImageConstructor filter.
+type IICConfig struct {
+	Chunker *volume.Chunker
+}
+
+// NewIIC returns the IIC factory. Each copy places incoming image pieces
+// into temporary chunk buffers; once all data elements of a chunk have been
+// received, the complete IIC-to-TEXTURE chunk is sent to the texture
+// analysis filters.
+func NewIIC(cfg IICConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			type assembly struct {
+				region    *volume.Region
+				remaining int
+			}
+			pending := map[int]*assembly{}
+			done := map[int]bool{}
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					break
+				}
+				piece, okType := m.Payload.(*PieceMsg)
+				if !okType {
+					return fmt.Errorf("filters: IIC received %T", m.Payload)
+				}
+				if owner := chunkOwnerIIC(piece.Chunk, ctx.NumCopies()); owner != ctx.CopyIndex() {
+					return fmt.Errorf("filters: chunk %d piece routed to IIC copy %d, owner is %d",
+						piece.Chunk, ctx.CopyIndex(), owner)
+				}
+				if done[piece.Chunk] {
+					return fmt.Errorf("filters: chunk %d received data after completion", piece.Chunk)
+				}
+				ch := cfg.Chunker.Chunk(piece.Chunk)
+				a := pending[piece.Chunk]
+				if a == nil {
+					a = &assembly{region: volume.NewRegion(ch.Voxels), remaining: ch.Voxels.NumVoxels()}
+					pending[piece.Chunk] = a
+				}
+				a.remaining -= a.region.CopyFrom(piece.Region)
+				if a.remaining < 0 {
+					return fmt.Errorf("filters: chunk %d received overlapping pieces", piece.Chunk)
+				}
+				if a.remaining == 0 {
+					out := &ChunkMsg{Chunk: piece.Chunk, Origins: ch.Origins, Region: a.region}
+					if err := ctx.Send(PortOut, out); err != nil {
+						return err
+					}
+					delete(pending, piece.Chunk)
+					done[piece.Chunk] = true
+				}
+			}
+			if len(pending) != 0 {
+				return fmt.Errorf("filters: IIC copy %d ended with %d incomplete chunks", ctx.CopyIndex(), len(pending))
+			}
+			return nil
+		})
+	}
+}
+
+// GridSourceConfig configures the in-memory dataset source used when the
+// data already resides in memory (the paper's footnote-1 optimization) or
+// in library/API use.
+type GridSourceConfig struct {
+	Grid    *volume.Grid
+	Chunker *volume.Chunker
+}
+
+// NewGridSource returns a source that emits complete IIC-to-TEXTURE chunks
+// straight from an in-memory grid, bypassing RFR and IIC. Chunks are dealt
+// across source copies so multiple copies partition the work.
+func NewGridSource(cfg GridSourceConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			n := cfg.Chunker.Count()
+			for i := ctx.CopyIndex(); i < n; i += ctx.NumCopies() {
+				ch := cfg.Chunker.Chunk(i)
+				region := volume.ExtractRegion(cfg.Grid, ch.Voxels)
+				msg := &ChunkMsg{Chunk: ch.Index, Origins: ch.Origins, Region: region}
+				if err := ctx.Send(PortOut, msg); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,377 @@
+package filters
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"image"
+	"image/color"
+	"image/jpeg"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"haralick4d/internal/features"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/volume"
+)
+
+// USOConfig configures the UnstitchedOutput filter.
+type USOConfig struct {
+	Dir string
+}
+
+// usoMagic guards the record files against format confusion.
+const usoMagic = uint32(0x55534f31) // "USO1"
+
+// NewUSO returns the UnstitchedOutput factory: it streams parameter values
+// with their positional information straight to disk, one file per Haralick
+// parameter per copy, for later postprocessing.
+func NewUSO(cfg USOConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			writers := map[features.Feature]*bufio.Writer{}
+			files := map[features.Feature]*os.File{}
+			defer func() {
+				for _, f := range files {
+					f.Close()
+				}
+			}()
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					break
+				}
+				pm, okType := m.Payload.(*ParamMsg)
+				if !okType {
+					return fmt.Errorf("filters: USO received %T", m.Payload)
+				}
+				if err := pm.Validate(); err != nil {
+					return err
+				}
+				w := writers[pm.Feature]
+				if w == nil {
+					name := fmt.Sprintf("uso_c%03d_%s.bin", ctx.CopyIndex(), pm.Feature)
+					f, err := os.Create(filepath.Join(cfg.Dir, name))
+					if err != nil {
+						return fmt.Errorf("filters: %w", err)
+					}
+					files[pm.Feature] = f
+					w = bufio.NewWriter(f)
+					writers[pm.Feature] = w
+					if err := binary.Write(w, binary.LittleEndian, usoMagic); err != nil {
+						return fmt.Errorf("filters: %w", err)
+					}
+				}
+				if err := writeUSORecord(w, pm); err != nil {
+					return err
+				}
+			}
+			for ft, w := range writers {
+				if err := w.Flush(); err != nil {
+					return fmt.Errorf("filters: %w", err)
+				}
+				if err := files[ft].Close(); err != nil {
+					return fmt.Errorf("filters: %w", err)
+				}
+				delete(files, ft)
+			}
+			return nil
+		})
+	}
+}
+
+func writeUSORecord(w io.Writer, pm *ParamMsg) error {
+	hdr := make([]int32, 9)
+	hdr[0] = int32(pm.Feature)
+	for k := 0; k < 4; k++ {
+		hdr[1+k] = int32(pm.Box.Lo[k])
+		hdr[5+k] = int32(pm.Box.Hi[k])
+	}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("filters: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, pm.Values); err != nil {
+		return fmt.Errorf("filters: %w", err)
+	}
+	return nil
+}
+
+// ReadUSODir loads every USO record file in dir and assembles the values
+// into one FloatGrid per feature with the given output dimensions — the
+// "postprocessing applications can then use the data stored in these files"
+// path, and the test oracle for disk output.
+func ReadUSODir(dir string, outDims [4]int) (map[features.Feature]*volume.FloatGrid, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("filters: %w", err)
+	}
+	grids := map[features.Feature]*volume.FloatGrid{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), "uso_") || !strings.HasSuffix(e.Name(), ".bin") {
+			continue
+		}
+		if err := readUSOFile(filepath.Join(dir, e.Name()), outDims, grids); err != nil {
+			return nil, err
+		}
+	}
+	return grids, nil
+}
+
+func readUSOFile(path string, outDims [4]int, grids map[features.Feature]*volume.FloatGrid) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("filters: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("filters: %s: %w", path, err)
+	}
+	if magic != usoMagic {
+		return fmt.Errorf("filters: %s: bad magic %#x", path, magic)
+	}
+	for {
+		hdr := make([]int32, 9)
+		if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("filters: %s: %w", path, err)
+		}
+		ft := features.Feature(hdr[0])
+		if ft < 0 || int(ft) >= features.NumFeatures {
+			return fmt.Errorf("filters: %s: invalid feature %d", path, hdr[0])
+		}
+		var box volume.Box
+		for k := 0; k < 4; k++ {
+			box.Lo[k] = int(hdr[1+k])
+			box.Hi[k] = int(hdr[5+k])
+		}
+		vals := make([]float64, box.NumVoxels())
+		if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+			return fmt.Errorf("filters: %s: truncated record: %w", path, err)
+		}
+		g := grids[ft]
+		if g == nil {
+			g = volume.NewFloatGrid(outDims)
+			grids[ft] = g
+		}
+		fr := &volume.FloatRegion{Box: box, Data: vals}
+		fr.StoreInto(g)
+	}
+}
+
+// HICConfig configures the HaralickImageConstructor filter.
+type HICConfig struct {
+	OutDims [4]int
+}
+
+// NewHIC returns the HaralickImageConstructor factory: the output stitch
+// that places parameter output portions into their positions until a
+// complete 4D dataset per Haralick parameter is built, then passes each
+// assembled dataset (with its value range) downstream.
+func NewHIC(cfg HICConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			type assembly struct {
+				grid      *volume.FloatGrid
+				remaining int
+			}
+			total := volume.NumVoxels(cfg.OutDims)
+			pending := map[features.Feature]*assembly{}
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					break
+				}
+				pm, okType := m.Payload.(*ParamMsg)
+				if !okType {
+					return fmt.Errorf("filters: HIC received %T", m.Payload)
+				}
+				if err := pm.Validate(); err != nil {
+					return err
+				}
+				a := pending[pm.Feature]
+				if a == nil {
+					a = &assembly{grid: volume.NewFloatGrid(cfg.OutDims), remaining: total}
+					pending[pm.Feature] = a
+				}
+				fr := &volume.FloatRegion{Box: pm.Box, Data: pm.Values}
+				fr.StoreInto(a.grid)
+				a.remaining -= pm.Box.NumVoxels()
+				if a.remaining < 0 {
+					return fmt.Errorf("filters: HIC received overlapping portions for %v", pm.Feature)
+				}
+				if a.remaining == 0 {
+					lo, hi := a.grid.MinMax()
+					out := &AssembledMsg{Feature: pm.Feature, Grid: a.grid, Min: lo, Max: hi}
+					if err := ctx.Send(PortOut, out); err != nil {
+						return err
+					}
+					delete(pending, pm.Feature)
+				}
+			}
+			if len(pending) != 0 {
+				return fmt.Errorf("filters: HIC copy %d ended with %d incomplete parameters", ctx.CopyIndex(), len(pending))
+			}
+			return nil
+		})
+	}
+}
+
+// JIWConfig configures the JPGImageWriter filter.
+type JIWConfig struct {
+	Dir     string
+	Quality int // JPEG quality, default 90
+}
+
+// NewJIW returns the JPGImageWriter factory: each assembled 4D parameter
+// dataset is normalized to [0, 1] using its min/max (zero → black, one →
+// white) and written as a series of 2D JPEG images, one per (z, t).
+func NewJIW(cfg JIWConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			quality := cfg.Quality
+			if quality <= 0 {
+				quality = 90
+			}
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					return nil
+				}
+				am, okType := m.Payload.(*AssembledMsg)
+				if !okType {
+					return fmt.Errorf("filters: JIW received %T", m.Payload)
+				}
+				dims := am.Grid.Dims
+				scale := 0.0
+				if am.Max > am.Min {
+					scale = 255 / (am.Max - am.Min)
+				}
+				for t := 0; t < dims[3]; t++ {
+					for z := 0; z < dims[2]; z++ {
+						img := image.NewGray(image.Rect(0, 0, dims[0], dims[1]))
+						for y := 0; y < dims[1]; y++ {
+							for x := 0; x < dims[0]; x++ {
+								v := (am.Grid.At(x, y, z, t) - am.Min) * scale
+								img.SetGray(x, y, color8(v))
+							}
+						}
+						name := fmt.Sprintf("%s_t%04d_z%04d.jpg", am.Feature, t, z)
+						if err := writeJPEG(filepath.Join(cfg.Dir, name), img, quality); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func color8(v float64) color.Gray {
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return color.Gray{Y: uint8(math.Round(v))}
+}
+
+func writeJPEG(path string, img image.Image, quality int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("filters: %w", err)
+	}
+	if err := jpeg.Encode(f, img, &jpeg.Options{Quality: quality}); err != nil {
+		f.Close()
+		return fmt.Errorf("filters: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("filters: %w", err)
+	}
+	return nil
+}
+
+// Results accumulates assembled feature grids in memory; it is the shared
+// sink behind the Collector filter and the library's return value.
+type Results struct {
+	mu     sync.Mutex
+	dims   [4]int
+	grids  map[features.Feature]*volume.FloatGrid
+	filled map[features.Feature]int
+}
+
+// NewResults returns an empty result sink for the given output dimensions.
+func NewResults(outDims [4]int) *Results {
+	return &Results{dims: outDims, grids: map[features.Feature]*volume.FloatGrid{}, filled: map[features.Feature]int{}}
+}
+
+// add applies one parameter portion.
+func (r *Results) add(pm *ParamMsg) error {
+	if err := pm.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.grids[pm.Feature]
+	if g == nil {
+		g = volume.NewFloatGrid(r.dims)
+		r.grids[pm.Feature] = g
+	}
+	fr := &volume.FloatRegion{Box: pm.Box, Data: pm.Values}
+	fr.StoreInto(g)
+	r.filled[pm.Feature] += pm.Box.NumVoxels()
+	if r.filled[pm.Feature] > volume.NumVoxels(r.dims) {
+		return fmt.Errorf("filters: feature %v overfilled", pm.Feature)
+	}
+	return nil
+}
+
+// Grid returns the assembled grid for one feature (nil if absent).
+func (r *Results) Grid(f features.Feature) *volume.FloatGrid {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.grids[f]
+}
+
+// Complete checks that every feature in want is fully assembled.
+func (r *Results) Complete(want []features.Feature) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := volume.NumVoxels(r.dims)
+	for _, f := range want {
+		if r.filled[f] != total {
+			return fmt.Errorf("filters: feature %v has %d/%d values", f, r.filled[f], total)
+		}
+	}
+	return nil
+}
+
+// NewCollector returns the in-memory output sink factory. All copies write
+// into the same Results (synchronized).
+func NewCollector(res *Results) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					return nil
+				}
+				pm, okType := m.Payload.(*ParamMsg)
+				if !okType {
+					return fmt.Errorf("filters: Collector received %T", m.Payload)
+				}
+				if err := res.add(pm); err != nil {
+					return err
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,182 @@
+package filters
+
+import (
+	"fmt"
+
+	"haralick4d/internal/core"
+	"haralick4d/internal/features"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/volume"
+)
+
+// TextureConfig is shared by the texture analysis filters.
+type TextureConfig struct {
+	Analysis core.Config
+	// RouteByFeature routes every ParamMsg explicitly to output copy
+	// (feature index mod copies) — required when the consumer is HIC, whose
+	// copies each stitch complete parameters. Leave false for transparent
+	// USO/Collector copies.
+	RouteByFeature bool
+	// PacketsPerChunk is how many co-occurrence matrix packets HCC emits
+	// per chunk (paper: a packet whenever a quarter of a chunk had been
+	// processed). Default 4. Ignored by HMP/HPC.
+	PacketsPerChunk int
+}
+
+func (c *TextureConfig) packets() int {
+	if c.PacketsPerChunk <= 0 {
+		return 4
+	}
+	return c.PacketsPerChunk
+}
+
+// sendParam emits a ParamMsg under the configured routing discipline.
+func sendParam(ctx filter.Context, cfg *TextureConfig, m *ParamMsg) error {
+	if cfg.RouteByFeature {
+		copies := ctx.ConsumerCopies(PortOut)
+		if copies == 0 {
+			return fmt.Errorf("filters: %s output not connected", ctx.FilterName())
+		}
+		return ctx.SendTo(PortOut, int(m.Feature)%copies, m)
+	}
+	return ctx.Send(PortOut, m)
+}
+
+// NewHMP returns the HaralickMatrixProducer factory: the combined texture
+// filter that computes the co-occurrence matrix and all selected Haralick
+// parameters for every ROI of each incoming chunk, emitting one ParamMsg
+// per parameter per chunk.
+func NewHMP(cfg TextureConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			acfg := cfg.Analysis
+			if err := acfg.Validate(); err != nil {
+				return err
+			}
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					return nil
+				}
+				chunk, okType := m.Payload.(*ChunkMsg)
+				if !okType {
+					return fmt.Errorf("filters: HMP received %T", m.Payload)
+				}
+				regions, err := core.AnalyzeRegion(chunk.Region, chunk.Origins, &acfg, nil)
+				if err != nil {
+					return err
+				}
+				for i, fr := range regions {
+					out := &ParamMsg{Feature: acfg.Features[i], Box: fr.Box, Values: fr.Data}
+					if err := sendParam(ctx, &cfg, out); err != nil {
+						return err
+					}
+				}
+			}
+		})
+	}
+}
+
+// NewHCC returns the HaralickCoMatrixCalculator factory: the first half of
+// the split implementation. For each chunk it rasters the ROI origins,
+// computes one co-occurrence matrix per ROI in the configured
+// representation, and ships them to the HPC filters in packets covering a
+// fraction of the chunk.
+func NewHCC(cfg TextureConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			acfg := cfg.Analysis
+			if err := acfg.Validate(); err != nil {
+				return err
+			}
+			sparse := acfg.Representation == core.SparseMatrix
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					return nil
+				}
+				chunk, okType := m.Payload.(*ChunkMsg)
+				if !okType {
+					return fmt.Errorf("filters: HCC received %T", m.Payload)
+				}
+				for _, sub := range SplitBox(chunk.Origins, cfg.packets()) {
+					batch := &MatrixBatchMsg{
+						Chunk:   chunk.Chunk,
+						Origins: sub,
+						G:       acfg.GrayLevels,
+						NoSkip:  acfg.Representation == core.FullMatrixNoSkip,
+					}
+					var err error
+					if sparse {
+						batch.Sparse, err = core.SparseBatch(chunk.Region, sub, &acfg, nil)
+					} else {
+						batch.Full, err = core.FullBatch(chunk.Region, sub, &acfg, nil)
+					}
+					if err != nil {
+						return err
+					}
+					if err := ctx.Send(PortOut, batch); err != nil {
+						return err
+					}
+				}
+			}
+		})
+	}
+}
+
+// NewHPC returns the HaralickParameterCalculator factory: the second half
+// of the split implementation. It computes every selected Haralick
+// parameter from each matrix of each incoming packet — directly from the
+// sparse form when the matrices arrive sparse — and emits one ParamMsg per
+// parameter per packet.
+func NewHPC(cfg TextureConfig) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			acfg := cfg.Analysis
+			if err := acfg.Validate(); err != nil {
+				return err
+			}
+			calc := features.NewCalculator(acfg.GrayLevels, acfg.Features)
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					return nil
+				}
+				batch, okType := m.Payload.(*MatrixBatchMsg)
+				if !okType {
+					return fmt.Errorf("filters: HPC received %T", m.Payload)
+				}
+				n := batch.Origins.NumVoxels()
+				if len(batch.Sparse) != n && len(batch.Full) != n {
+					return fmt.Errorf("filters: packet for %v has %d+%d matrices, want %d",
+						batch.Origins, len(batch.Sparse), len(batch.Full), n)
+				}
+				outs := make([]*volume.FloatRegion, len(acfg.Features))
+				for i := range outs {
+					outs[i] = volume.NewFloatRegion(batch.Origins)
+				}
+				for k := 0; k < n; k++ {
+					var vals []float64
+					var err error
+					if batch.Sparse != nil {
+						vals, err = calc.FromSparse(batch.Sparse[k])
+					} else {
+						vals, err = calc.FromFull(batch.Full[k], !batch.NoSkip)
+					}
+					if err != nil {
+						return err
+					}
+					for i, v := range vals {
+						outs[i].Data[k] = v
+					}
+				}
+				for i, fr := range outs {
+					out := &ParamMsg{Feature: acfg.Features[i], Box: fr.Box, Values: fr.Data}
+					if err := sendParam(ctx, &cfg, out); err != nil {
+						return err
+					}
+				}
+			}
+		})
+	}
+}

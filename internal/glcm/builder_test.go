@@ -1,0 +1,122 @@
+package glcm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the scratch builder produces exactly the same sparse matrix as
+// direct sorted insertion for any pair stream.
+func TestBuilderMatchesDirectProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, gRaw uint8) bool {
+		g := int(gRaw%31) + 2
+		n := int(nRaw % 500)
+		rng := rand.New(rand.NewSource(seed))
+		direct := NewSparse(g)
+		b := NewSparseBuilder(g)
+		for k := 0; k < n; k++ {
+			x, y := uint8(rng.Intn(g)), uint8(rng.Intn(g))
+			direct.Add(x, y)
+			b.Add(x, y)
+		}
+		built := NewSparse(g)
+		b.Flush(built)
+		if built.Validate() != nil || built.Total != direct.Total {
+			return false
+		}
+		if len(built.Entries) != len(direct.Entries) {
+			return false
+		}
+		for i := range built.Entries {
+			if built.Entries[i] != direct.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ComputeSparseScratch+Flush equals ComputeSparse on random ROIs,
+// and the builder is reusable across matrices.
+func TestComputeSparseScratchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [4]int{4 + rng.Intn(5), 4 + rng.Intn(5), 1 + rng.Intn(3), 1 + rng.Intn(3)}
+		g := 2 + rng.Intn(14)
+		data := make([]uint8, dims[0]*dims[1]*dims[2]*dims[3])
+		for i := range data {
+			data[i] = uint8(rng.Intn(g))
+		}
+		strides := Strides(dims)
+		dirs := Directions(3, 1)
+		b := NewSparseBuilder(g)
+		got := NewSparse(g)
+		// Two rounds through the same builder exercise reuse.
+		for round := 0; round < 2; round++ {
+			var origin, shape [4]int
+			for k := 0; k < 4; k++ {
+				shape[k] = 1 + rng.Intn(dims[k])
+				origin[k] = rng.Intn(dims[k] - shape[k] + 1)
+			}
+			want := NewSparse(g)
+			ComputeSparse(data, strides, origin, shape, dirs, want)
+			ComputeSparseScratch(data, strides, origin, shape, dirs, b)
+			b.Flush(got)
+			if got.Validate() != nil || got.Total != want.Total || len(got.Entries) != len(want.Entries) {
+				return false
+			}
+			for i := range got.Entries {
+				if got.Entries[i] != want.Entries[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderFlushEmpty(t *testing.T) {
+	b := NewSparseBuilder(8)
+	s := NewSparse(8)
+	s.Add(1, 2) // stale content must be replaced
+	b.Flush(s)
+	if s.Total != 0 || len(s.Entries) != 0 {
+		t.Errorf("flush of empty builder left %d entries, total %d", len(s.Entries), s.Total)
+	}
+}
+
+func TestBuilderPanicsOnBadG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSparseBuilder(0)
+}
+
+func BenchmarkBuilderScratchROI(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	dims := [4]int{32, 32, 8, 8}
+	data := make([]uint8, dims[0]*dims[1]*dims[2]*dims[3])
+	for i := range data {
+		data[i] = uint8(rng.Intn(32))
+	}
+	strides := Strides(dims)
+	dirs := Directions(4, 1)
+	bu := NewSparseBuilder(32)
+	s := NewSparse(32)
+	shape := [4]int{16, 16, 3, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeSparseScratch(data, strides, [4]int{}, shape, dirs, bu)
+		bu.Flush(s)
+	}
+}

@@ -1,0 +1,257 @@
+package glcm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCompute is a slow, obviously-correct reference: enumerate every voxel
+// of the ROI and every direction with explicit bounds checks.
+func refCompute(data []uint8, strides, origin, shape [4]int, dirs []Direction, g int) *Full {
+	m := NewFull(g)
+	var p [4]int
+	for p[3] = 0; p[3] < shape[3]; p[3]++ {
+		for p[2] = 0; p[2] < shape[2]; p[2]++ {
+			for p[1] = 0; p[1] < shape[1]; p[1]++ {
+				for p[0] = 0; p[0] < shape[0]; p[0]++ {
+					for _, d := range dirs {
+						inside := true
+						var q [4]int
+						for k := 0; k < 4; k++ {
+							q[k] = p[k] + d[k]
+							if q[k] < 0 || q[k] >= shape[k] {
+								inside = false
+								break
+							}
+						}
+						if !inside {
+							continue
+						}
+						ia, ib := 0, 0
+						for k := 0; k < 4; k++ {
+							ia += (origin[k] + p[k]) * strides[k]
+							ib += (origin[k] + q[k]) * strides[k]
+						}
+						m.Add(data[ia], data[ib])
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+func randomGrid(rng *rand.Rand, dims [4]int, g int) []uint8 {
+	n := dims[0] * dims[1] * dims[2] * dims[3]
+	data := make([]uint8, n)
+	for i := range data {
+		data[i] = uint8(rng.Intn(g))
+	}
+	return data
+}
+
+func TestComputeFull2DKnown(t *testing.T) {
+	// The classic 4×4 example from Haralick's paper:
+	//   0 0 1 1
+	//   0 0 1 1
+	//   0 2 2 2
+	//   2 2 3 3
+	// For direction (1,0) (0°), the symmetric GLCM has known counts.
+	img := []uint8{
+		0, 0, 1, 1,
+		0, 0, 1, 1,
+		0, 2, 2, 2,
+		2, 2, 3, 3,
+	}
+	dims := [4]int{4, 4, 1, 1}
+	m := NewFull(4)
+	ComputeFull(img, Strides(dims), [4]int{}, dims, []Direction{{1, 0, 0, 0}}, m)
+	// Haralick 1973, Fig. 3: horizontal GLCM
+	want := [4][4]uint32{
+		{4, 2, 1, 0},
+		{2, 4, 0, 0},
+		{1, 0, 6, 1},
+		{0, 0, 1, 2},
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("cell (%d,%d) = %d, want %d", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+	if m.Total != 24 {
+		t.Errorf("Total = %d, want 24", m.Total)
+	}
+}
+
+func TestComputeFullMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dims := [4]int{7, 6, 4, 3}
+	data := randomGrid(rng, dims, 8)
+	strides := Strides(dims)
+	for _, tc := range []struct {
+		origin, shape [4]int
+		dirs          []Direction
+	}{
+		{[4]int{0, 0, 0, 0}, dims, Directions(4, 1)},
+		{[4]int{1, 2, 0, 0}, [4]int{4, 3, 3, 2}, Directions(4, 1)},
+		{[4]int{2, 1, 1, 1}, [4]int{3, 3, 2, 2}, Directions(3, 1)},
+		{[4]int{0, 0, 0, 0}, [4]int{5, 5, 1, 1}, Directions(2, 2)},
+		{[4]int{0, 0, 0, 0}, [4]int{2, 2, 2, 2}, AllDirections(4, 1)},
+	} {
+		got := NewFull(8)
+		ComputeFull(data, strides, tc.origin, tc.shape, tc.dirs, got)
+		want := refCompute(data, strides, tc.origin, tc.shape, tc.dirs, 8)
+		if got.Total != want.Total {
+			t.Fatalf("origin %v shape %v: Total %d vs %d", tc.origin, tc.shape, got.Total, want.Total)
+		}
+		for i := range got.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("origin %v shape %v: cell %d differs", tc.origin, tc.shape, i)
+			}
+		}
+	}
+}
+
+// Property: ComputeFull and ComputeSparse agree cell-for-cell on random
+// ROIs, and both match PairCount.
+func TestComputeFullSparseAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [4]int{3 + rng.Intn(5), 3 + rng.Intn(5), 1 + rng.Intn(3), 1 + rng.Intn(3)}
+		g := 2 + rng.Intn(14)
+		data := randomGrid(rng, dims, g)
+		strides := Strides(dims)
+		var origin, shape [4]int
+		for k := 0; k < 4; k++ {
+			shape[k] = 1 + rng.Intn(dims[k])
+			origin[k] = rng.Intn(dims[k] - shape[k] + 1)
+		}
+		ndim := 4
+		if shape[3] == 1 {
+			ndim = 3
+		}
+		dirs := Directions(ndim, 1)
+
+		full := NewFull(g)
+		ComputeFull(data, strides, origin, shape, dirs, full)
+		sp := NewSparse(g)
+		ComputeSparse(data, strides, origin, shape, dirs, sp)
+		if sp.Validate() != nil || sp.Total != full.Total {
+			return false
+		}
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				if sp.At(i, j) != full.At(i, j) {
+					return false
+				}
+			}
+		}
+		return full.Total == 2*PairCount(shape, dirs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: accumulating a direction and its negation separately gives
+// exactly twice the matrix of the canonical direction alone (paper §3:
+// opposite angles yield the same co-occurrence matrix).
+func TestOppositeDirectionsProperty(t *testing.T) {
+	f := func(seed int64, dirIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := [4]int{5, 5, 3, 3}
+		data := randomGrid(rng, dims, 6)
+		strides := Strides(dims)
+		dirs := Directions(4, 1)
+		d := dirs[int(dirIdx)%len(dirs)]
+
+		single := NewFull(6)
+		ComputeFull(data, strides, [4]int{}, dims, []Direction{d}, single)
+		both := NewFull(6)
+		ComputeFull(data, strides, [4]int{}, dims, []Direction{d, d.Neg()}, both)
+		if both.Total != 2*single.Total {
+			return false
+		}
+		for i := range single.Counts {
+			if both.Counts[i] != 2*single.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeDegenerateROI(t *testing.T) {
+	dims := [4]int{4, 4, 1, 1}
+	data := make([]uint8, 16)
+	m := NewFull(4)
+	// Direction larger than the ROI: no pairs at all.
+	ComputeFull(data, Strides(dims), [4]int{}, [4]int{2, 2, 1, 1}, []Direction{{3, 0, 0, 0}}, m)
+	if m.Total != 0 {
+		t.Errorf("Total = %d, want 0", m.Total)
+	}
+	// Single-voxel ROI: no pairs for any direction.
+	ComputeFull(data, Strides(dims), [4]int{1, 1, 0, 0}, [4]int{1, 1, 1, 1}, Directions(2, 1), m)
+	if m.Total != 0 {
+		t.Errorf("single-voxel Total = %d, want 0", m.Total)
+	}
+}
+
+func TestPairCount(t *testing.T) {
+	// 4×4 2D ROI, horizontal direction: 3 pairs per row × 4 rows = 12.
+	n := PairCount([4]int{4, 4, 1, 1}, []Direction{{1, 0, 0, 0}})
+	if n != 12 {
+		t.Errorf("PairCount = %d, want 12", n)
+	}
+	// Diagonal on the same ROI: 3×3 = 9.
+	n = PairCount([4]int{4, 4, 1, 1}, []Direction{{1, 1, 0, 0}})
+	if n != 9 {
+		t.Errorf("diagonal PairCount = %d, want 9", n)
+	}
+}
+
+func TestStrides(t *testing.T) {
+	s := Strides([4]int{4, 5, 6, 7})
+	want := [4]int{1, 4, 20, 120}
+	if s != want {
+		t.Errorf("Strides = %v, want %v", s, want)
+	}
+}
+
+func BenchmarkComputeFullROI(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	dims := [4]int{32, 32, 8, 8}
+	data := randomGrid(rng, dims, 32)
+	strides := Strides(dims)
+	dirs := Directions(4, 1)
+	m := NewFull(32)
+	shape := [4]int{16, 16, 3, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		ComputeFull(data, strides, [4]int{}, shape, dirs, m)
+	}
+}
+
+func BenchmarkComputeSparseROI(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	dims := [4]int{32, 32, 8, 8}
+	data := randomGrid(rng, dims, 32)
+	strides := Strides(dims)
+	dirs := Directions(4, 1)
+	s := NewSparse(32)
+	shape := [4]int{16, 16, 3, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		ComputeSparse(data, strides, [4]int{}, shape, dirs, s)
+	}
+}

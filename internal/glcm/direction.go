@@ -1,0 +1,114 @@
+// Package glcm implements gray-level co-occurrence matrices (GLCMs) for
+// texture analysis in up to four dimensions (x, y, z, t), in the two storage
+// representations studied by the paper: a dense G×G "full" matrix and a
+// compact "sparse" list of non-zero entries.
+//
+// A co-occurrence matrix is the joint histogram of the gray levels of voxel
+// pairs separated by a fixed displacement vector. Following Haralick, pairs
+// are counted in both the forward and backward directions, so the matrix is
+// symmetric and opposite displacement vectors yield the same matrix; only
+// the canonical half of the direction set is therefore enumerated.
+package glcm
+
+// Direction is a 4D displacement vector (dx, dy, dz, dt) between a voxel and
+// its neighbor. Lower-dimensional analyses simply leave trailing components
+// zero.
+type Direction [4]int
+
+// Neg returns the opposite direction.
+func (d Direction) Neg() Direction {
+	return Direction{-d[0], -d[1], -d[2], -d[3]}
+}
+
+// IsZero reports whether all components are zero.
+func (d Direction) IsZero() bool {
+	return d[0] == 0 && d[1] == 0 && d[2] == 0 && d[3] == 0
+}
+
+// Canonical reports whether the direction is the canonical representative of
+// the pair {d, −d}: the first non-zero component is positive. The symmetric
+// accumulation makes d and −d produce identical matrices (paper §3), so only
+// canonical directions need to be enumerated.
+func (d Direction) Canonical() bool {
+	for _, c := range d {
+		if c > 0 {
+			return true
+		}
+		if c < 0 {
+			return false
+		}
+	}
+	return false // zero vector is not canonical
+}
+
+// Directions returns the canonical unique direction set for an ndim-
+// dimensional analysis at the given distance: every vector in
+// {−distance, 0, +distance}^ndim whose first non-zero component is positive.
+//
+// Counts match the paper's discussion: 4 unique directions in 2D (out of 8),
+// 13 in 3D (out of 26), and 40 in 4D (out of 80).
+//
+// ndim must be between 1 and 4 and distance must be positive; otherwise the
+// function panics, since both are programmer-supplied configuration.
+func Directions(ndim, distance int) []Direction {
+	if ndim < 1 || ndim > 4 {
+		panic("glcm: ndim must be in [1, 4]")
+	}
+	if distance < 1 {
+		panic("glcm: distance must be >= 1")
+	}
+	var dirs []Direction
+	for _, d := range AllDirections(ndim, distance) {
+		if d.Canonical() {
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs
+}
+
+// AllDirections returns the complete direction set (both orientations),
+// i.e. {−distance, 0, +distance}^ndim minus the zero vector: 8 vectors in
+// 2D, 26 in 3D, 80 in 4D.
+func AllDirections(ndim, distance int) []Direction {
+	if ndim < 1 || ndim > 4 {
+		panic("glcm: ndim must be in [1, 4]")
+	}
+	if distance < 1 {
+		panic("glcm: distance must be >= 1")
+	}
+	steps := []int{-distance, 0, distance}
+	var dirs []Direction
+	var build func(dim int, cur Direction)
+	build = func(dim int, cur Direction) {
+		if dim == ndim {
+			if !cur.IsZero() {
+				dirs = append(dirs, cur)
+			}
+			return
+		}
+		for _, s := range steps {
+			cur[dim] = s
+			build(dim+1, cur)
+		}
+		cur[dim] = 0
+	}
+	build(0, Direction{})
+	return dirs
+}
+
+// AxisDirections returns the ndim canonical axis-aligned directions at the
+// given distance (e.g. (d,0,0,0), (0,d,0,0), ...). Useful for cheap
+// single-direction or axis-only analyses.
+func AxisDirections(ndim, distance int) []Direction {
+	if ndim < 1 || ndim > 4 {
+		panic("glcm: ndim must be in [1, 4]")
+	}
+	if distance < 1 {
+		panic("glcm: distance must be >= 1")
+	}
+	dirs := make([]Direction, ndim)
+	for i := 0; i < ndim; i++ {
+		dirs[i][i] = distance
+	}
+	return dirs
+}

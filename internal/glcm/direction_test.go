@@ -1,0 +1,104 @@
+package glcm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionCounts(t *testing.T) {
+	// Paper §3: 8 directions in 2D of which 4 are unique; 4D analogues.
+	cases := []struct {
+		ndim      int
+		all, uniq int
+	}{
+		{1, 2, 1},
+		{2, 8, 4},
+		{3, 26, 13},
+		{4, 80, 40},
+	}
+	for _, c := range cases {
+		if got := len(AllDirections(c.ndim, 1)); got != c.all {
+			t.Errorf("AllDirections(%d): got %d, want %d", c.ndim, got, c.all)
+		}
+		if got := len(Directions(c.ndim, 1)); got != c.uniq {
+			t.Errorf("Directions(%d): got %d, want %d", c.ndim, got, c.uniq)
+		}
+	}
+}
+
+func TestDirectionsCanonicalAndDistance(t *testing.T) {
+	for _, dist := range []int{1, 2, 3} {
+		for _, d := range Directions(4, dist) {
+			if !d.Canonical() {
+				t.Errorf("non-canonical direction %v", d)
+			}
+			if d.Neg().Canonical() {
+				t.Errorf("both %v and %v canonical", d, d.Neg())
+			}
+			for _, c := range d {
+				if c != 0 && c != dist && c != -dist {
+					t.Errorf("direction %v has component %d, want 0 or ±%d", d, c, dist)
+				}
+			}
+		}
+	}
+}
+
+// Property: the canonical set plus its negations reconstructs the full set.
+func TestDirectionsHalfSpaceProperty(t *testing.T) {
+	f := func(ndimRaw, distRaw uint8) bool {
+		ndim := int(ndimRaw%4) + 1
+		dist := int(distRaw%3) + 1
+		all := AllDirections(ndim, dist)
+		uniq := Directions(ndim, dist)
+		if len(all) != 2*len(uniq) {
+			return false
+		}
+		seen := map[Direction]bool{}
+		for _, d := range uniq {
+			seen[d] = true
+			seen[d.Neg()] = true
+		}
+		for _, d := range all {
+			if !seen[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxisDirections(t *testing.T) {
+	dirs := AxisDirections(4, 2)
+	want := []Direction{{2, 0, 0, 0}, {0, 2, 0, 0}, {0, 0, 2, 0}, {0, 0, 0, 2}}
+	if len(dirs) != len(want) {
+		t.Fatalf("got %d directions, want %d", len(dirs), len(want))
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Errorf("dirs[%d] = %v, want %v", i, dirs[i], want[i])
+		}
+	}
+}
+
+func TestDirectionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Directions(0, 1) },
+		func() { Directions(5, 1) },
+		func() { Directions(2, 0) },
+		func() { AllDirections(0, 1) },
+		func() { AxisDirections(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,291 @@
+package glcm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Full is the dense co-occurrence matrix representation: a G×G array of
+// pair counts. Counting is symmetric — each observed voxel pair (a, b)
+// increments both (a, b) and (b, a) — so the matrix is always symmetric and
+// Total is twice the number of observed pairs.
+type Full struct {
+	G      int      // number of gray levels; the matrix is G×G
+	Counts []uint32 // row-major, len G*G
+	Total  uint64   // sum of all counts (2 × pairs observed)
+}
+
+// NewFull returns an empty dense matrix for g gray levels.
+func NewFull(g int) *Full {
+	if g < 1 || g > 256 {
+		panic("glcm: gray levels must be in [1, 256]")
+	}
+	return &Full{G: g, Counts: make([]uint32, g*g)}
+}
+
+// Reset zeroes the matrix for reuse without reallocating.
+func (m *Full) Reset() {
+	for i := range m.Counts {
+		m.Counts[i] = 0
+	}
+	m.Total = 0
+}
+
+// Add records one voxel pair with gray levels a and b, incrementing both the
+// (a, b) and (b, a) cells per the symmetric-counting convention.
+func (m *Full) Add(a, b uint8) {
+	m.Counts[int(a)*m.G+int(b)]++
+	m.Counts[int(b)*m.G+int(a)]++
+	m.Total += 2
+}
+
+// At returns the raw count in cell (i, j).
+func (m *Full) At(i, j int) uint32 { return m.Counts[i*m.G+j] }
+
+// P returns the normalized joint probability p(i, j). A matrix with no
+// observations returns 0 everywhere.
+func (m *Full) P(i, j int) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.At(i, j)) / float64(m.Total)
+}
+
+// NonZero returns the number of non-zero cells counting the symmetric pair
+// (i, j)/(j, i) once — the storage size of the equivalent sparse form. This
+// is the quantity the paper reports as "10.7 non-zero entries per matrix".
+func (m *Full) NonZero() int {
+	n := 0
+	for i := 0; i < m.G; i++ {
+		for j := i; j < m.G; j++ {
+			if m.At(i, j) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Density returns the fraction of the G×G cells that are non-zero (counting
+// both symmetric cells, matching the paper's "about 1% of the matrix").
+func (m *Full) Density() float64 {
+	n := 0
+	for _, c := range m.Counts {
+		if c != 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(m.G*m.G)
+}
+
+// Sparse converts the matrix to its sparse representation.
+func (m *Full) Sparse() *Sparse {
+	s := NewSparse(m.G)
+	for i := 0; i < m.G; i++ {
+		for j := i; j < m.G; j++ {
+			if c := m.At(i, j); c != 0 {
+				s.Entries = append(s.Entries, Entry{I: uint8(i), J: uint8(j), Count: c})
+			}
+		}
+	}
+	s.Total = m.Total
+	return s
+}
+
+// Symmetric reports whether the stored counts are symmetric. Matrices built
+// through Add always are; this is a testing/validation aid.
+func (m *Full) Symmetric() bool {
+	for i := 0; i < m.G; i++ {
+		for j := i + 1; j < m.G; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Entry is one stored cell of a sparse co-occurrence matrix: the gray-level
+// pair (I ≤ J) and its symmetric count (equal to the dense cells (I, J) and
+// (J, I); stored once per the paper's storage scheme).
+type Entry struct {
+	I, J  uint8
+	Count uint32
+}
+
+// Sparse is the sparse co-occurrence matrix representation: only non-zero,
+// non-duplicated (i ≤ j) entries are stored, sorted by (I, J). Total keeps
+// the same convention as Full.Total (2 × pairs observed) so that
+// probabilities agree across representations.
+type Sparse struct {
+	G       int
+	Entries []Entry
+	Total   uint64
+
+	// index maps a packed (i, j) key to entry position + 1 (0 = absent).
+	// It is a builder-side accelerator only — the stored and transmitted
+	// representation remains the sorted entry triples — and is allocated
+	// lazily on the first Add, so converted/deserialized matrices carry no
+	// table. G·G uint16s is 2 KiB at G=32 and stays L1-resident.
+	index []uint16
+}
+
+// NewSparse returns an empty sparse matrix for g gray levels.
+func NewSparse(g int) *Sparse {
+	if g < 1 || g > 256 {
+		panic("glcm: gray levels must be in [1, 256]")
+	}
+	return &Sparse{G: g}
+}
+
+// Reset empties the matrix for reuse, keeping the entry slice's capacity.
+// Only the keys actually present are cleared from the index, so resetting a
+// sparse matrix costs O(entries), not O(G²).
+func (s *Sparse) Reset() {
+	if s.index != nil {
+		for _, e := range s.Entries {
+			s.index[int(e.I)*s.G+int(e.J)] = 0
+		}
+	}
+	s.Entries = s.Entries[:0]
+	s.Total = 0
+}
+
+// Add records one voxel pair with gray levels a and b. Each stored entry
+// always equals the corresponding dense cell: a diagonal pair contributes 2
+// to its cell (both orderings land on the same cell) while an off-diagonal
+// pair contributes 1 to each of the two mirror cells, of which only one is
+// stored. Probabilities are therefore identical across representations.
+//
+// Entries are kept sorted by (I, J); the per-pair key lookup goes through
+// the builder index, and the occasional insertion shifts the tail and
+// refreshes its index slots. This residual bookkeeping is the "overhead
+// introduced due to storing and accessing the co-occurrence matrix in
+// sparse representation" the paper observes in the combined HMP filter.
+func (s *Sparse) Add(a, b uint8) {
+	var inc uint32 = 1
+	if a == b {
+		inc = 2
+	} else if a > b {
+		a, b = b, a
+	}
+	s.ensureIndex()
+	if at := s.index[int(a)*s.G+int(b)]; at != 0 {
+		s.Entries[at-1].Count += inc
+		s.Total += 2
+		return
+	}
+	s.insertNew(a, b, inc)
+	s.Total += 2
+}
+
+// ensureIndex builds the builder index lazily (matrices produced by
+// conversion or deserialization have none until first accumulated into).
+func (s *Sparse) ensureIndex() {
+	if s.index != nil {
+		return
+	}
+	s.index = make([]uint16, s.G*s.G)
+	for k, e := range s.Entries {
+		s.index[int(e.I)*s.G+int(e.J)] = uint16(k + 1)
+	}
+}
+
+// insertNew inserts a brand-new cell (a ≤ b already normalized) at its
+// sorted position and refreshes the index slots of the shifted tail. The
+// caller updates Total.
+func (s *Sparse) insertNew(a, b uint8, inc uint32) {
+	lo, hi := 0, len(s.Entries)
+	key := uint16(a)<<8 | uint16(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := &s.Entries[mid]
+		if uint16(e.I)<<8|uint16(e.J) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.Entries = append(s.Entries, Entry{})
+	copy(s.Entries[lo+1:], s.Entries[lo:])
+	s.Entries[lo] = Entry{I: a, J: b, Count: inc}
+	for k := lo; k < len(s.Entries); k++ {
+		e := s.Entries[k]
+		s.index[int(e.I)*s.G+int(e.J)] = uint16(k + 1)
+	}
+}
+
+// At returns the dense-equivalent count for cell (i, j).
+func (s *Sparse) At(i, j int) uint32 {
+	if i > j {
+		i, j = j, i
+	}
+	a, b := uint8(i), uint8(j)
+	idx := sort.Search(len(s.Entries), func(k int) bool {
+		e := s.Entries[k]
+		return e.I > a || (e.I == a && e.J >= b)
+	})
+	if idx < len(s.Entries) && s.Entries[idx].I == a && s.Entries[idx].J == b {
+		return s.Entries[idx].Count
+	}
+	return 0
+}
+
+// P returns the normalized joint probability p(i, j).
+func (s *Sparse) P(i, j int) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.At(i, j)) / float64(s.Total)
+}
+
+// NonZero returns the number of stored entries.
+func (s *Sparse) NonZero() int { return len(s.Entries) }
+
+// Full converts the matrix to its dense representation.
+func (s *Sparse) Full() *Full {
+	m := NewFull(s.G)
+	for _, e := range s.Entries {
+		m.Counts[int(e.I)*m.G+int(e.J)] = e.Count
+		m.Counts[int(e.J)*m.G+int(e.I)] = e.Count
+	}
+	m.Total = s.Total
+	return m
+}
+
+// SizeBytes returns the approximate in-memory/wire size of the sparse
+// matrix: 6 bytes per entry (two gray levels + count) plus the header. This
+// is what makes the sparse form attractive on the HCC→HPC stream.
+func (s *Sparse) SizeBytes() int { return 16 + 6*len(s.Entries) }
+
+// Validate checks structural invariants (sorted unique entries, i ≤ j,
+// counts consistent with Total). It returns a descriptive error for tests.
+func (s *Sparse) Validate() error {
+	var sum uint64
+	for k, e := range s.Entries {
+		if e.I > e.J {
+			return fmt.Errorf("glcm: entry %d has i > j (%d > %d)", k, e.I, e.J)
+		}
+		if int(e.J) >= s.G {
+			return fmt.Errorf("glcm: entry %d gray level %d out of range G=%d", k, e.J, s.G)
+		}
+		if k > 0 {
+			prev := s.Entries[k-1]
+			if prev.I > e.I || (prev.I == e.I && prev.J >= e.J) {
+				return fmt.Errorf("glcm: entries not strictly sorted at %d", k)
+			}
+		}
+		if e.Count == 0 {
+			return fmt.Errorf("glcm: entry %d has zero count", k)
+		}
+		if e.I == e.J {
+			sum += uint64(e.Count)
+		} else {
+			sum += 2 * uint64(e.Count)
+		}
+	}
+	if sum != s.Total {
+		return fmt.Errorf("glcm: entry counts sum to %d (dense-equivalent), Total = %d", sum, s.Total)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package glcm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullAddSymmetryAndTotal(t *testing.T) {
+	m := NewFull(4)
+	m.Add(1, 2)
+	m.Add(2, 1)
+	m.Add(3, 3)
+	if !m.Symmetric() {
+		t.Error("matrix not symmetric")
+	}
+	if m.Total != 6 {
+		t.Errorf("Total = %d, want 6", m.Total)
+	}
+	if m.At(1, 2) != 2 || m.At(2, 1) != 2 {
+		t.Errorf("off-diagonal cells = %d, %d, want 2, 2", m.At(1, 2), m.At(2, 1))
+	}
+	if m.At(3, 3) != 2 {
+		t.Errorf("diagonal cell = %d, want 2", m.At(3, 3))
+	}
+	if p := m.P(1, 2); math.Abs(p-2.0/6.0) > 1e-15 {
+		t.Errorf("P(1,2) = %v, want 1/3", p)
+	}
+}
+
+func TestFullReset(t *testing.T) {
+	m := NewFull(4)
+	m.Add(0, 1)
+	m.Reset()
+	if m.Total != 0 || m.NonZero() != 0 {
+		t.Error("Reset did not clear matrix")
+	}
+}
+
+func TestSparseMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	full := NewFull(8)
+	sp := NewSparse(8)
+	for k := 0; k < 500; k++ {
+		a, b := uint8(rng.Intn(8)), uint8(rng.Intn(8))
+		full.Add(a, b)
+		sp.Add(a, b)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Total != full.Total {
+		t.Fatalf("totals differ: %d vs %d", sp.Total, full.Total)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if sp.At(i, j) != full.At(i, j) {
+				t.Fatalf("cell (%d,%d): sparse %d vs full %d", i, j, sp.At(i, j), full.At(i, j))
+			}
+		}
+	}
+	if sp.NonZero() != full.NonZero() {
+		t.Errorf("NonZero: sparse %d vs full %d", sp.NonZero(), full.NonZero())
+	}
+}
+
+// Property: Full→Sparse→Full and Sparse→Full→Sparse round-trips preserve
+// every cell, the total and the storage size for random pair streams.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, gRaw uint8) bool {
+		g := int(gRaw%31) + 2
+		n := int(nRaw % 400)
+		rng := rand.New(rand.NewSource(seed))
+		full := NewFull(g)
+		for k := 0; k < n; k++ {
+			full.Add(uint8(rng.Intn(g)), uint8(rng.Intn(g)))
+		}
+		sp := full.Sparse()
+		if err := sp.Validate(); err != nil {
+			return false
+		}
+		back := sp.Full()
+		if back.Total != full.Total || !back.Symmetric() {
+			return false
+		}
+		for i := range full.Counts {
+			if back.Counts[i] != full.Counts[i] {
+				return false
+			}
+		}
+		sp2 := back.Sparse()
+		if len(sp2.Entries) != len(sp.Entries) {
+			return false
+		}
+		for i := range sp.Entries {
+			if sp.Entries[i] != sp2.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: probabilities sum to 1 for any non-empty matrix, in both forms.
+func TestProbabilityNormalizationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		g := 16
+		n := int(nRaw%300) + 1
+		rng := rand.New(rand.NewSource(seed))
+		full := NewFull(g)
+		sp := NewSparse(g)
+		for k := 0; k < n; k++ {
+			a, b := uint8(rng.Intn(g)), uint8(rng.Intn(g))
+			full.Add(a, b)
+			sp.Add(a, b)
+		}
+		sumF, sumS := 0.0, 0.0
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				sumF += full.P(i, j)
+				sumS += sp.P(i, j)
+			}
+		}
+		return math.Abs(sumF-1) < 1e-9 && math.Abs(sumS-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseSizeBytes(t *testing.T) {
+	sp := NewSparse(32)
+	if sp.SizeBytes() != 16 {
+		t.Errorf("empty SizeBytes = %d, want 16", sp.SizeBytes())
+	}
+	sp.Add(1, 2)
+	sp.Add(3, 4)
+	if sp.SizeBytes() != 16+12 {
+		t.Errorf("SizeBytes = %d, want 28", sp.SizeBytes())
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := NewFull(4)
+	m.Add(0, 1) // two cells non-zero
+	if got := m.Density(); math.Abs(got-2.0/16.0) > 1e-15 {
+		t.Errorf("Density = %v, want 0.125", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	sp := NewSparse(8)
+	sp.Add(1, 2)
+	sp.Add(3, 3)
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	bad := *sp
+	bad.Entries = append([]Entry(nil), sp.Entries...)
+	bad.Entries[0].I, bad.Entries[0].J = 5, 2 // i > j
+	if bad.Validate() == nil {
+		t.Error("Validate missed i > j")
+	}
+	bad2 := *sp
+	bad2.Total = 999
+	if bad2.Validate() == nil {
+		t.Error("Validate missed total mismatch")
+	}
+	bad3 := NewSparse(2)
+	bad3.Entries = []Entry{{I: 1, J: 1, Count: 0}}
+	if bad3.Validate() == nil {
+		t.Error("Validate missed zero count")
+	}
+}
+
+func TestNewPanicsOnBadG(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFull(0) },
+		func() { NewFull(257) },
+		func() { NewSparse(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

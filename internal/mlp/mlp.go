@@ -1,0 +1,251 @@
+// Package mlp implements a small feed-forward neural network trained by
+// stochastic gradient descent with momentum — enough to reproduce the
+// paper's motivating application: "Images that have been analyzed by
+// radiologists can be used along with the results of texture analysis to
+// train a neural network. Once trained, the neural network becomes a
+// convenient tool for discovering cancerous tissue given the texture
+// analysis results" (§1).
+//
+// The implementation is deterministic for a given seed and uses no
+// dependencies beyond the standard library.
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Net is a fully connected feed-forward network with sigmoid activations.
+type Net struct {
+	sizes   []int
+	weights [][]float64 // weights[l][j*in+i]: layer l, input i → neuron j
+	biases  [][]float64
+	// momentum buffers
+	vw [][]float64
+	vb [][]float64
+}
+
+// New builds a network with the given layer sizes (inputs first, outputs
+// last) and Xavier-style random initialization from seed.
+func New(sizes []int, seed int64) *Net {
+	if len(sizes) < 2 {
+		panic("mlp: need at least input and output layers")
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			panic("mlp: layer sizes must be positive")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Net{sizes: append([]int(nil), sizes...)}
+	for l := 1; l < len(sizes); l++ {
+		in, out := sizes[l-1], sizes[l]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2.0 / float64(in+out))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		n.weights = append(n.weights, w)
+		n.biases = append(n.biases, make([]float64, out))
+		n.vw = append(n.vw, make([]float64, in*out))
+		n.vb = append(n.vb, make([]float64, out))
+	}
+	return n
+}
+
+// Sizes returns the layer sizes.
+func (n *Net) Sizes() []int { return append([]int(nil), n.sizes...) }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward runs inference and returns the output activations.
+func (n *Net) Forward(x []float64) []float64 {
+	a, _ := n.forwardAll(x)
+	return a[len(a)-1]
+}
+
+// forwardAll returns the activations of every layer (including the input)
+// and the pre-activation sums of every non-input layer.
+func (n *Net) forwardAll(x []float64) ([][]float64, [][]float64) {
+	if len(x) != n.sizes[0] {
+		panic(fmt.Sprintf("mlp: input size %d, network expects %d", len(x), n.sizes[0]))
+	}
+	acts := [][]float64{append([]float64(nil), x...)}
+	var sums [][]float64
+	for l := 0; l < len(n.weights); l++ {
+		in := n.sizes[l]
+		out := n.sizes[l+1]
+		prev := acts[l]
+		z := make([]float64, out)
+		a := make([]float64, out)
+		w := n.weights[l]
+		for j := 0; j < out; j++ {
+			sum := n.biases[l][j]
+			row := w[j*in : (j+1)*in]
+			for i, v := range row {
+				sum += v * prev[i]
+			}
+			z[j] = sum
+			a[j] = sigmoid(sum)
+		}
+		sums = append(sums, z)
+		acts = append(acts, a)
+	}
+	return acts, sums
+}
+
+// TrainConfig tunes SGD.
+type TrainConfig struct {
+	Epochs       int
+	LearningRate float64
+	Momentum     float64
+	Seed         int64 // shuffling seed
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 100
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.5
+	}
+}
+
+// Train fits the network to the samples with per-sample SGD and returns the
+// mean squared error after each epoch. Inputs must match the input layer,
+// labels the output layer.
+func (n *Net) Train(inputs, labels [][]float64, cfg TrainConfig) ([]float64, error) {
+	cfg.defaults()
+	if len(inputs) != len(labels) {
+		return nil, fmt.Errorf("mlp: %d inputs vs %d labels", len(inputs), len(labels))
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("mlp: no training data")
+	}
+	for i := range inputs {
+		if len(inputs[i]) != n.sizes[0] {
+			return nil, fmt.Errorf("mlp: sample %d has %d features, network expects %d", i, len(inputs[i]), n.sizes[0])
+		}
+		if len(labels[i]) != n.sizes[len(n.sizes)-1] {
+			return nil, fmt.Errorf("mlp: label %d has %d outputs, network expects %d", i, len(labels[i]), n.sizes[len(n.sizes)-1])
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(inputs))
+	for i := range order {
+		order[i] = i
+	}
+	losses := make([]float64, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sum := 0.0
+		for _, idx := range order {
+			sum += n.step(inputs[idx], labels[idx], cfg.LearningRate, cfg.Momentum)
+		}
+		losses = append(losses, sum/float64(len(inputs)))
+	}
+	return losses, nil
+}
+
+// step runs one backpropagation update and returns the sample's squared
+// error.
+func (n *Net) step(x, y []float64, lr, momentum float64) float64 {
+	acts, _ := n.forwardAll(x)
+	L := len(n.weights)
+	out := acts[L]
+
+	// Output delta for MSE with sigmoid: (a − y) · a(1−a).
+	deltas := make([][]float64, L)
+	loss := 0.0
+	dl := make([]float64, len(out))
+	for j, a := range out {
+		e := a - y[j]
+		loss += e * e
+		dl[j] = e * a * (1 - a)
+	}
+	deltas[L-1] = dl
+
+	for l := L - 2; l >= 0; l-- {
+		sz := n.sizes[l+1]
+		next := n.sizes[l+2]
+		d := make([]float64, sz)
+		wNext := n.weights[l+1]
+		for i := 0; i < sz; i++ {
+			sum := 0.0
+			for j := 0; j < next; j++ {
+				sum += wNext[j*sz+i] * deltas[l+1][j]
+			}
+			a := acts[l+1][i]
+			d[i] = sum * a * (1 - a)
+		}
+		deltas[l] = d
+	}
+
+	for l := 0; l < L; l++ {
+		in := n.sizes[l]
+		prev := acts[l]
+		w := n.weights[l]
+		vw := n.vw[l]
+		for j, d := range deltas[l] {
+			base := j * in
+			for i := 0; i < in; i++ {
+				g := d * prev[i]
+				vw[base+i] = momentum*vw[base+i] - lr*g
+				w[base+i] += vw[base+i]
+			}
+			n.vb[l][j] = momentum*n.vb[l][j] - lr*d
+			n.biases[l][j] += n.vb[l][j]
+		}
+	}
+	return loss
+}
+
+// Standardizer scales features to zero mean and unit variance — texture
+// parameters span wildly different ranges (ASM in (0,1], variance in the
+// hundreds), so scaling is essential for SGD.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer estimates per-feature statistics from the samples.
+func FitStandardizer(samples [][]float64) (*Standardizer, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("mlp: no samples to fit")
+	}
+	d := len(samples[0])
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, x := range samples {
+		if len(x) != d {
+			return nil, fmt.Errorf("mlp: inconsistent sample widths")
+		}
+		for i, v := range x {
+			s.Mean[i] += v
+		}
+	}
+	for i := range s.Mean {
+		s.Mean[i] /= float64(len(samples))
+	}
+	for _, x := range samples {
+		for i, v := range x {
+			d := v - s.Mean[i]
+			s.Std[i] += d * d
+		}
+	}
+	for i := range s.Std {
+		s.Std[i] = math.Sqrt(s.Std[i] / float64(len(samples)))
+		if s.Std[i] < 1e-12 {
+			s.Std[i] = 1
+		}
+	}
+	return s, nil
+}
+
+// Apply returns the standardized copy of x.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v - s.Mean[i]) / s.Std[i]
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+// Package pipeline composes the paper's filters into its two end-to-end
+// instantiations — the combined HMP implementation (Fig. 5) and the split
+// HCC+HPC implementation (Fig. 4) — over disk-resident or in-memory
+// datasets, with configurable placement, copy counts, buffer scheduling
+// policy and output mode, and runs them on any of the three engines.
+package pipeline
+
+import (
+	"fmt"
+
+	"haralick4d/internal/cluster"
+	"haralick4d/internal/core"
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/dicom"
+	"haralick4d/internal/features"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/filters"
+	"haralick4d/internal/volume"
+)
+
+// Impl selects the texture-filter decomposition.
+type Impl int
+
+const (
+	// HMPImpl performs co-occurrence matrix computation and parameter
+	// calculation inside a single filter.
+	HMPImpl Impl = iota
+	// SplitImpl task-distributes the two operations among pipelined HCC and
+	// HPC filters.
+	SplitImpl
+)
+
+// String returns the implementation's flag name.
+func (i Impl) String() string {
+	switch i {
+	case HMPImpl:
+		return "hmp"
+	case SplitImpl:
+		return "split"
+	}
+	return fmt.Sprintf("impl(%d)", int(i))
+}
+
+// ParseImpl is the inverse of String.
+func ParseImpl(s string) (Impl, error) {
+	switch s {
+	case "hmp":
+		return HMPImpl, nil
+	case "split":
+		return SplitImpl, nil
+	}
+	return 0, fmt.Errorf("pipeline: unknown implementation %q", s)
+}
+
+// OutputMode selects the output filter set.
+type OutputMode int
+
+const (
+	// OutputCollect assembles results in memory (library use, tests).
+	OutputCollect OutputMode = iota
+	// OutputUSO streams unstitched parameter values to disk.
+	OutputUSO
+	// OutputJPEG stitches full 4D parameter datasets and writes JPEG slice
+	// series (HIC + JIW).
+	OutputJPEG
+)
+
+// Layout assigns filter copies to nodes. The length of each slice is the
+// copy count of that filter. A nil slice defaults to one copy on node 0
+// (RFR defaults to one copy per storage node, all on node 0).
+type Layout struct {
+	SourceNodes []int // RFR copies (must equal the dataset's storage nodes) or GridSource copies
+	IICNodes    []int // explicit IIC copies
+	HMPNodes    []int // texture copies for HMPImpl
+	HCCNodes    []int // split implementation
+	HPCNodes    []int
+	OutputNodes []int // USO/Collector copies, or HIC copies for OutputJPEG
+	JIWNodes    []int // JPEG writers; defaults to OutputNodes
+}
+
+// Config carries everything the graph builder needs besides placement.
+type Config struct {
+	Analysis        core.Config
+	ChunkShape      [4]int // IIC-to-TEXTURE chunk voxel shape
+	IOChunk         [2]int // RFR read window; zero reads whole slices
+	PacketsPerChunk int    // HCC matrix packets per chunk (default 4)
+	Impl            Impl
+	Policy          filter.Policy // buffer scheduling into texture (and HPC) copies
+	Output          OutputMode
+	OutDir          string // for OutputUSO / OutputJPEG
+}
+
+// Validate normalizes the config and reports the first problem.
+func (c *Config) Validate(datasetDims [4]int) error {
+	if err := c.Analysis.Validate(); err != nil {
+		return err
+	}
+	if c.ChunkShape == ([4]int{}) {
+		c.ChunkShape = defaultChunkShape(datasetDims, c.Analysis.ROI)
+	}
+	if c.Impl < HMPImpl || c.Impl > SplitImpl {
+		return fmt.Errorf("pipeline: invalid implementation %d", int(c.Impl))
+	}
+	if c.Policy == filter.Explicit {
+		return fmt.Errorf("pipeline: texture distribution policy must be round-robin or demand-driven")
+	}
+	if c.Output != OutputCollect && c.OutDir == "" {
+		return fmt.Errorf("pipeline: disk output modes need OutDir")
+	}
+	return nil
+}
+
+// defaultChunkShape picks a chunk covering the full x–y extent and a
+// moderate z–t block — a paper-like middle ground between overlap overhead
+// and distribution balance.
+func defaultChunkShape(dims, roi [4]int) [4]int {
+	var cs [4]int
+	cs[0], cs[1] = dims[0], dims[1]
+	for k := 2; k < 4; k++ {
+		cs[k] = roi[k] + 3
+		if cs[k] > dims[k] {
+			cs[k] = dims[k]
+		}
+	}
+	return cs
+}
+
+func nodesOrDefault(nodes []int, copies int) []int {
+	if nodes != nil {
+		return nodes
+	}
+	return make([]int, copies)
+}
+
+// Build constructs the filter graph over a disk-resident dataset. It
+// returns the graph, the in-memory results sink (nil unless OutputCollect)
+// and the output dimensions.
+func Build(store *dataset.Store, cfg *Config, layout *Layout) (*filter.Graph, *filters.Results, [4]int, error) {
+	var outDims [4]int
+	if layout == nil {
+		layout = &Layout{}
+	}
+	if err := cfg.Validate(store.Meta.Dims); err != nil {
+		return nil, nil, outDims, err
+	}
+	srcNodes := nodesOrDefault(layout.SourceNodes, store.Meta.Nodes)
+	if len(srcNodes) != store.Meta.Nodes {
+		return nil, nil, outDims, fmt.Errorf("pipeline: %d RFR copies for %d storage nodes", len(srcNodes), store.Meta.Nodes)
+	}
+	chunker, err := volume.NewChunker(store.Meta.Dims, cfg.ChunkShape, cfg.Analysis.ROI)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
+	outDims = chunker.OutputDims()
+
+	g := filter.NewGraph()
+	g.AddFilter(filter.FilterSpec{
+		Name:   "RFR",
+		Copies: len(srcNodes),
+		New: filters.NewRFR(filters.RFRConfig{
+			Store:      store,
+			Chunker:    chunker,
+			GrayLevels: cfg.Analysis.GrayLevels,
+			IOChunk:    cfg.IOChunk,
+		}),
+		Nodes: srcNodes,
+	})
+	iicNodes := nodesOrDefault(layout.IICNodes, 1)
+	g.AddFilter(filter.FilterSpec{
+		Name:   "IIC",
+		Copies: len(iicNodes),
+		New:    filters.NewIIC(filters.IICConfig{Chunker: chunker}),
+		Nodes:  iicNodes,
+	})
+	g.Connect(filter.ConnSpec{From: "RFR", FromPort: filters.PortOut, To: "IIC", ToPort: filters.PortIn, Policy: filter.Explicit})
+
+	res, err := addTextureAndOutput(g, "IIC", cfg, layout, outDims)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
+	return g, res, outDims, nil
+}
+
+// BuildDICOM constructs the filter graph over a DICOM study directory (see
+// internal/dicom): identical to Build except that the input stage is the
+// DICOMFileReader filter, the paper's named RFR replacement. The study's
+// window center/width supplies the requantization range.
+func BuildDICOM(study *dicom.Study, cfg *Config, layout *Layout) (*filter.Graph, *filters.Results, [4]int, error) {
+	var outDims [4]int
+	if layout == nil {
+		layout = &Layout{}
+	}
+	if err := cfg.Validate(study.Dims); err != nil {
+		return nil, nil, outDims, err
+	}
+	srcNodes := nodesOrDefault(layout.SourceNodes, study.Nodes)
+	if len(srcNodes) != study.Nodes {
+		return nil, nil, outDims, fmt.Errorf("pipeline: %d DFR copies for %d storage nodes", len(srcNodes), study.Nodes)
+	}
+	chunker, err := volume.NewChunker(study.Dims, cfg.ChunkShape, cfg.Analysis.ROI)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
+	outDims = chunker.OutputDims()
+
+	g := filter.NewGraph()
+	g.AddFilter(filter.FilterSpec{
+		Name:   "DFR",
+		Copies: len(srcNodes),
+		New: filters.NewDFR(filters.DFRConfig{
+			Study:      study,
+			Chunker:    chunker,
+			GrayLevels: cfg.Analysis.GrayLevels,
+		}),
+		Nodes: srcNodes,
+	})
+	iicNodes := nodesOrDefault(layout.IICNodes, 1)
+	g.AddFilter(filter.FilterSpec{
+		Name:   "IIC",
+		Copies: len(iicNodes),
+		New:    filters.NewIIC(filters.IICConfig{Chunker: chunker}),
+		Nodes:  iicNodes,
+	})
+	g.Connect(filter.ConnSpec{From: "DFR", FromPort: filters.PortOut, To: "IIC", ToPort: filters.PortIn, Policy: filter.Explicit})
+
+	res, err := addTextureAndOutput(g, "IIC", cfg, layout, outDims)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
+	return g, res, outDims, nil
+}
+
+// BuildMem constructs the graph over an in-memory grid (no RFR/IIC stage;
+// a GridSource emits complete chunks).
+func BuildMem(grid *volume.Grid, cfg *Config, layout *Layout) (*filter.Graph, *filters.Results, [4]int, error) {
+	var outDims [4]int
+	if layout == nil {
+		layout = &Layout{}
+	}
+	if err := cfg.Validate(grid.Dims); err != nil {
+		return nil, nil, outDims, err
+	}
+	if grid.G != cfg.Analysis.GrayLevels {
+		return nil, nil, outDims, fmt.Errorf("pipeline: grid has %d gray levels, config %d", grid.G, cfg.Analysis.GrayLevels)
+	}
+	chunker, err := volume.NewChunker(grid.Dims, cfg.ChunkShape, cfg.Analysis.ROI)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
+	outDims = chunker.OutputDims()
+
+	srcNodes := nodesOrDefault(layout.SourceNodes, 1)
+	g := filter.NewGraph()
+	g.AddFilter(filter.FilterSpec{
+		Name:   "SRC",
+		Copies: len(srcNodes),
+		New:    filters.NewGridSource(filters.GridSourceConfig{Grid: grid, Chunker: chunker}),
+		Nodes:  srcNodes,
+	})
+	res, err := addTextureAndOutput(g, "SRC", cfg, layout, outDims)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
+	return g, res, outDims, nil
+}
+
+// addTextureAndOutput wires the texture-analysis and output filter sets
+// behind the chunk producer named src.
+func addTextureAndOutput(g *filter.Graph, src string, cfg *Config, layout *Layout, outDims [4]int) (*filters.Results, error) {
+	tcfg := filters.TextureConfig{
+		Analysis:        cfg.Analysis,
+		PacketsPerChunk: cfg.PacketsPerChunk,
+		RouteByFeature:  cfg.Output == OutputJPEG,
+	}
+	var paramProducer string
+	switch cfg.Impl {
+	case HMPImpl:
+		nodes := nodesOrDefault(layout.HMPNodes, 1)
+		g.AddFilter(filter.FilterSpec{Name: "HMP", Copies: len(nodes), New: filters.NewHMP(tcfg), Nodes: nodes})
+		g.Connect(filter.ConnSpec{From: src, FromPort: filters.PortOut, To: "HMP", ToPort: filters.PortIn, Policy: cfg.Policy})
+		paramProducer = "HMP"
+	case SplitImpl:
+		hccNodes := nodesOrDefault(layout.HCCNodes, 1)
+		hpcNodes := nodesOrDefault(layout.HPCNodes, 1)
+		g.AddFilter(filter.FilterSpec{Name: "HCC", Copies: len(hccNodes), New: filters.NewHCC(tcfg), Nodes: hccNodes})
+		g.AddFilter(filter.FilterSpec{Name: "HPC", Copies: len(hpcNodes), New: filters.NewHPC(tcfg), Nodes: hpcNodes})
+		g.Connect(filter.ConnSpec{From: src, FromPort: filters.PortOut, To: "HCC", ToPort: filters.PortIn, Policy: cfg.Policy})
+		g.Connect(filter.ConnSpec{From: "HCC", FromPort: filters.PortOut, To: "HPC", ToPort: filters.PortIn, Policy: cfg.Policy})
+		paramProducer = "HPC"
+	}
+
+	outNodes := nodesOrDefault(layout.OutputNodes, 1)
+	switch cfg.Output {
+	case OutputCollect:
+		res := filters.NewResults(outDims)
+		g.AddFilter(filter.FilterSpec{Name: "OUT", Copies: len(outNodes), New: filters.NewCollector(res), Nodes: outNodes})
+		g.Connect(filter.ConnSpec{From: paramProducer, FromPort: filters.PortOut, To: "OUT", ToPort: filters.PortIn, Policy: filter.RoundRobin})
+		return res, nil
+	case OutputUSO:
+		g.AddFilter(filter.FilterSpec{Name: "USO", Copies: len(outNodes), New: filters.NewUSO(filters.USOConfig{Dir: cfg.OutDir}), Nodes: outNodes})
+		g.Connect(filter.ConnSpec{From: paramProducer, FromPort: filters.PortOut, To: "USO", ToPort: filters.PortIn, Policy: filter.RoundRobin})
+		return nil, nil
+	case OutputJPEG:
+		g.AddFilter(filter.FilterSpec{Name: "HIC", Copies: len(outNodes), New: filters.NewHIC(filters.HICConfig{OutDims: outDims}), Nodes: outNodes})
+		g.Connect(filter.ConnSpec{From: paramProducer, FromPort: filters.PortOut, To: "HIC", ToPort: filters.PortIn, Policy: filter.Explicit})
+		jiwNodes := layout.JIWNodes
+		if jiwNodes == nil {
+			jiwNodes = outNodes
+		}
+		g.AddFilter(filter.FilterSpec{Name: "JIW", Copies: len(jiwNodes), New: filters.NewJIW(filters.JIWConfig{Dir: cfg.OutDir}), Nodes: jiwNodes})
+		g.Connect(filter.ConnSpec{From: "HIC", FromPort: filters.PortOut, To: "JIW", ToPort: filters.PortIn, Policy: filter.RoundRobin})
+		return nil, nil
+	}
+	return nil, fmt.Errorf("pipeline: invalid output mode %d", int(cfg.Output))
+}
+
+// Engine selects the execution engine.
+type Engine int
+
+const (
+	// EngineLocal runs every copy as a goroutine with in-memory streams.
+	EngineLocal Engine = iota
+	// EngineTCP runs goroutines with real loopback TCP between nodes.
+	EngineTCP
+	// EngineSim runs on the simulated cluster in virtual time.
+	EngineSim
+)
+
+// String returns the engine's flag name.
+func (e Engine) String() string {
+	switch e {
+	case EngineLocal:
+		return "local"
+	case EngineTCP:
+		return "tcp"
+	case EngineSim:
+		return "sim"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine is the inverse of String.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "local":
+		return EngineLocal, nil
+	case "tcp":
+		return EngineTCP, nil
+	case "sim":
+		return EngineSim, nil
+	}
+	return 0, fmt.Errorf("pipeline: unknown engine %q", s)
+}
+
+// RunOptions tunes an engine run.
+type RunOptions struct {
+	QueueDepth   int
+	Topology     *cluster.Topology // EngineSim only; defaults to a uniform cluster
+	ComputeScale float64           // EngineSim only
+}
+
+// Run executes a built graph on the selected engine.
+func Run(g *filter.Graph, engine Engine, opts *RunOptions) (*filter.RunStats, error) {
+	if opts == nil {
+		opts = &RunOptions{}
+	}
+	switch engine {
+	case EngineLocal:
+		return filter.RunLocal(g, &filter.Options{QueueDepth: opts.QueueDepth})
+	case EngineTCP:
+		return filter.RunTCP(g, &filter.Options{QueueDepth: opts.QueueDepth})
+	case EngineSim:
+		topo := opts.Topology
+		if topo == nil {
+			topo = cluster.Uniform(g.NumNodes(), 1, cluster.LANLatency, cluster.FastEthernetMBps)
+		}
+		return cluster.Run(g, topo, &cluster.Options{QueueDepth: opts.QueueDepth, ComputeScale: opts.ComputeScale})
+	}
+	return nil, fmt.Errorf("pipeline: invalid engine %d", int(engine))
+}
+
+// Sequential is the single-workstation reference implementation: read the
+// whole dataset, requantize it with the dataset-global range, and run the
+// raster scan in one pass. Returns one grid per configured feature.
+func Sequential(store *dataset.Store, cfg *Config) (map[features.Feature]*volume.FloatGrid, error) {
+	if err := cfg.Validate(store.Meta.Dims); err != nil {
+		return nil, err
+	}
+	v, err := store.ReadVolume()
+	if err != nil {
+		return nil, err
+	}
+	grid := volume.RequantizeRange(v, cfg.Analysis.GrayLevels, store.Meta.Min, store.Meta.Max)
+	return SequentialGrid(grid, cfg)
+}
+
+// SequentialGrid is Sequential for an already-requantized in-memory grid.
+func SequentialGrid(grid *volume.Grid, cfg *Config) (map[features.Feature]*volume.FloatGrid, error) {
+	acfg := cfg.Analysis
+	grids, err := core.AnalyzeGrid(grid, &acfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := map[features.Feature]*volume.FloatGrid{}
+	for i, f := range acfg.Features {
+		out[f] = grids[i]
+	}
+	return out, nil
+}

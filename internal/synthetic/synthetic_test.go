@@ -1,0 +1,138 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+
+	"haralick4d/internal/core"
+	"haralick4d/internal/volume"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Dims: [4]int{16, 16, 4, 6}, Seed: 7}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("same seed produced different data at %d", i)
+		}
+	}
+	c := Generate(Config{Dims: cfg.Dims, Seed: 8})
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGenerateDims(t *testing.T) {
+	dims := [4]int{20, 18, 5, 7}
+	v := Generate(Config{Dims: dims, Seed: 1})
+	if v.Dims != dims {
+		t.Fatalf("dims = %v", v.Dims)
+	}
+	if len(v.Data) != volume.NumVoxels(dims) {
+		t.Fatalf("data length %d", len(v.Data))
+	}
+}
+
+// The contrast-enhancement physiology: the mean intensity of the brightest
+// region (tumor core) must rise after injection and then decline (washout),
+// and the study must not be temporally constant.
+func TestEnhancementDynamics(t *testing.T) {
+	dims := [4]int{32, 32, 6, 20}
+	v := Generate(Config{Dims: dims, Seed: 3, NoiseSigma: 1})
+	nxyz := dims[0] * dims[1] * dims[2]
+
+	means := make([]float64, dims[3])
+	for t0 := 0; t0 < dims[3]; t0++ {
+		sum := 0.0
+		for j := 0; j < nxyz; j++ {
+			sum += float64(v.Data[t0*nxyz+j])
+		}
+		means[t0] = sum / float64(nxyz)
+	}
+	first, peak, last := means[0], 0.0, means[dims[3]-1]
+	peakAt := 0
+	for i, m := range means {
+		if m > peak {
+			peak, peakAt = m, i
+		}
+	}
+	if peak <= first*1.005 {
+		t.Errorf("no enhancement: first %.1f, peak %.1f", first, peak)
+	}
+	if peakAt == 0 || peakAt == dims[3]-1 {
+		t.Errorf("peak at boundary time step %d", peakAt)
+	}
+	if last >= peak {
+		t.Error("no washout after peak")
+	}
+}
+
+// The requantized phantom must produce sparse, near-diagonal co-occurrence
+// matrices like real MRI: the paper reports ~1% non-zero entries at G=32.
+func TestPhantomGLCMSparsity(t *testing.T) {
+	g := GenerateGrid(Config{Dims: [4]int{48, 48, 8, 8}, Seed: 5}, 32)
+	cfg := &core.Config{ROI: [4]int{16, 16, 3, 3}, GrayLevels: 32, Representation: core.SparseMatrix}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sample a sub-box of ROI origins rather than the full raster scan: the
+	// sparsity statistic stabilizes after a few hundred ROIs.
+	region := &volume.Region{Box: volume.BoxAt([4]int{}, g.Dims), Data: g.Data}
+	origins := volume.BoxAt([4]int{4, 4, 1, 1}, [4]int{8, 8, 3, 3})
+	var st core.Stats
+	if _, err := core.AnalyzeRegion(region, origins, cfg, &st); err != nil {
+		t.Fatal(err)
+	}
+	mean := st.MeanEntries()
+	density := mean / float64(32*32)
+	if density > 0.08 {
+		t.Errorf("phantom GLCMs too dense: %.1f entries (%.2f%%)", mean, 100*density)
+	}
+	if mean < 2 {
+		t.Errorf("phantom GLCMs suspiciously empty: %.2f entries", mean)
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	v := Generate(Config{Dims: [4]int{24, 24, 4, 8}, Seed: 9})
+	lo, hi := v.MinMax()
+	if hi == 0 {
+		t.Fatal("all-zero study")
+	}
+	if lo == hi {
+		t.Fatal("constant study")
+	}
+	mean := 0.0
+	for _, x := range v.Data {
+		mean += float64(x)
+	}
+	mean /= float64(len(v.Data))
+	if mean < 100 || mean > 5000 {
+		t.Errorf("implausible mean intensity %.1f", mean)
+	}
+}
+
+func TestGammaVariate(t *testing.T) {
+	// Zero before onset, peak of 1 at t0+tp, lower after.
+	if gammaVariate(1.0, 2.0, 5.0, 2.0) != 0 {
+		t.Error("non-zero before onset")
+	}
+	peak := gammaVariate(7.0, 2.0, 5.0, 2.0)
+	if math.Abs(peak-1) > 1e-12 {
+		t.Errorf("peak = %v, want 1", peak)
+	}
+	if gammaVariate(20.0, 2.0, 5.0, 2.0) >= peak {
+		t.Error("no washout")
+	}
+	if gammaVariate(4.0, 2.0, 5.0, 2.0) >= peak {
+		t.Error("rise exceeds peak")
+	}
+}

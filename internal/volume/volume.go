@@ -1,0 +1,187 @@
+// Package volume provides the 4D dataset geometry used throughout the
+// system: raw 16-bit volumes, requantized gray-level grids, half-open boxes,
+// region fragments, the ROI raster-scan geometry, and the chunk partitioning
+// with ROI overlap described by the paper (Eqs. 1–2).
+//
+// All 4D coordinates are (x, y, z, t) with x varying fastest in memory:
+// a dataset is a time series (t) of 3D volumes (z slices of x×y images),
+// matching the paper's DCE-MRI structure.
+package volume
+
+import (
+	"fmt"
+)
+
+// Index returns the flat index of (x, y, z, t) in a grid with the given
+// dimensions, laid out x-fastest.
+func Index(dims [4]int, x, y, z, t int) int {
+	return ((t*dims[2]+z)*dims[1]+y)*dims[0] + x
+}
+
+// NumVoxels returns the total voxel count of a grid with the given
+// dimensions.
+func NumVoxels(dims [4]int) int {
+	return dims[0] * dims[1] * dims[2] * dims[3]
+}
+
+// Strides returns the flat-index strides of each dimension, x-fastest.
+func Strides(dims [4]int) [4]int {
+	return [4]int{1, dims[0], dims[0] * dims[1], dims[0] * dims[1] * dims[2]}
+}
+
+// Volume is a raw 4D image dataset of 2-byte voxels, the acquisition format
+// of the paper's DCE-MRI studies.
+type Volume struct {
+	Dims [4]int // X, Y, Z, T
+	Data []uint16
+}
+
+// NewVolume allocates a zeroed volume with the given dimensions.
+func NewVolume(dims [4]int) *Volume {
+	checkDims(dims)
+	return &Volume{Dims: dims, Data: make([]uint16, NumVoxels(dims))}
+}
+
+func checkDims(dims [4]int) {
+	for _, d := range dims {
+		if d < 1 {
+			panic(fmt.Sprintf("volume: non-positive dimension %v", dims))
+		}
+	}
+}
+
+// At returns the voxel at (x, y, z, t).
+func (v *Volume) At(x, y, z, t int) uint16 { return v.Data[Index(v.Dims, x, y, z, t)] }
+
+// Set stores a voxel at (x, y, z, t).
+func (v *Volume) Set(x, y, z, t int, val uint16) { v.Data[Index(v.Dims, x, y, z, t)] = val }
+
+// Slice returns the 2D image slice (z, t) as a view into the volume's data;
+// its length is X·Y and modifying it modifies the volume.
+func (v *Volume) Slice(z, t int) []uint16 {
+	n := v.Dims[0] * v.Dims[1]
+	off := Index(v.Dims, 0, 0, z, t)
+	return v.Data[off : off+n]
+}
+
+// MinMax returns the smallest and largest voxel values. An all-zero volume
+// returns (0, 0).
+func (v *Volume) MinMax() (lo, hi uint16) {
+	if len(v.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = v.Data[0], v.Data[0]
+	for _, x := range v.Data {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Grid is a requantized 4D dataset: every voxel holds one of G gray levels.
+// This is the working representation of the texture analysis (paper: G=32,
+// since "values greater than 32 do not significantly improve the texture
+// analysis results").
+type Grid struct {
+	Dims [4]int
+	G    int
+	Data []uint8
+}
+
+// NewGrid allocates a zeroed grid.
+func NewGrid(dims [4]int, g int) *Grid {
+	checkDims(dims)
+	if g < 1 || g > 256 {
+		panic("volume: gray levels must be in [1, 256]")
+	}
+	return &Grid{Dims: dims, G: g, Data: make([]uint8, NumVoxels(dims))}
+}
+
+// At returns the gray level at (x, y, z, t).
+func (g *Grid) At(x, y, z, t int) uint8 { return g.Data[Index(g.Dims, x, y, z, t)] }
+
+// Set stores a gray level at (x, y, z, t).
+func (g *Grid) Set(x, y, z, t int, v uint8) { g.Data[Index(g.Dims, x, y, z, t)] = v }
+
+// Strides returns the grid's flat-index strides.
+func (g *Grid) Strides() [4]int { return Strides(g.Dims) }
+
+// Requantize maps the volume linearly onto levels gray levels using the
+// volume's own min–max range.
+func Requantize(v *Volume, levels int) *Grid {
+	lo, hi := v.MinMax()
+	return RequantizeRange(v, levels, lo, hi)
+}
+
+// RequantizeRange maps the volume linearly onto levels gray levels using the
+// fixed range [lo, hi]; values outside the range are clamped. A degenerate
+// range (hi ≤ lo) maps everything to level 0. Using a dataset-global range
+// lets distributed readers requantize locally yet consistently.
+func RequantizeRange(v *Volume, levels int, lo, hi uint16) *Grid {
+	g := NewGrid(v.Dims, levels)
+	for i, x := range v.Data {
+		g.Data[i] = QuantizeValue(x, levels, lo, hi)
+	}
+	return g
+}
+
+// QuantizeValue maps one raw value onto [0, levels−1] linearly over
+// [lo, hi], clamping out-of-range values.
+func QuantizeValue(x uint16, levels int, lo, hi uint16) uint8 {
+	if hi <= lo {
+		return 0
+	}
+	if x <= lo {
+		return 0
+	}
+	if x >= hi {
+		return uint8(levels - 1)
+	}
+	q := int(uint64(x-lo) * uint64(levels) / uint64(hi-lo+1))
+	if q >= levels {
+		q = levels - 1
+	}
+	return uint8(q)
+}
+
+// FloatGrid is a 4D grid of float64 values — the output type of the texture
+// analysis: one FloatGrid per Haralick parameter, with one value per ROI
+// position.
+type FloatGrid struct {
+	Dims [4]int
+	Data []float64
+}
+
+// NewFloatGrid allocates a zeroed float grid.
+func NewFloatGrid(dims [4]int) *FloatGrid {
+	checkDims(dims)
+	return &FloatGrid{Dims: dims, Data: make([]float64, NumVoxels(dims))}
+}
+
+// At returns the value at (x, y, z, t).
+func (g *FloatGrid) At(x, y, z, t int) float64 { return g.Data[Index(g.Dims, x, y, z, t)] }
+
+// Set stores a value at (x, y, z, t).
+func (g *FloatGrid) Set(x, y, z, t int, v float64) { g.Data[Index(g.Dims, x, y, z, t)] = v }
+
+// MinMax returns the smallest and largest values; an empty grid returns
+// (0, 0). Used by the JPEG writer to normalize parameter images.
+func (g *FloatGrid) MinMax() (lo, hi float64) {
+	if len(g.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = g.Data[0], g.Data[0]
+	for _, x := range g.Data {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -10,6 +10,7 @@ package haralick4d
 // the same figures at larger scales.
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"sync"
@@ -235,6 +236,123 @@ func BenchmarkFeaturesAllFourteen(b *testing.B) {
 		if _, err := calc.FromFull(fulls[i%len(fulls)], true); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ----- sliding-window and worker-pool kernel benchmarks -----
+//
+// These probe the parallel intra-chunk kernel (internal/core/parallel.go,
+// internal/glcm/sliding.go). Every benchmark reports pairs/s — voxel-pair
+// accumulations per second, counting *logical* pairs (pairsPerROI × ROIs) so
+// the sliding kernel's savings show up as higher throughput rather than a
+// different workload. TestWriteKernelBenchJSON records them in
+// BENCH_kernels.json.
+
+// reportPairs attaches the logical voxel-pair throughput of the timed
+// section.
+func reportPairs(b *testing.B, pairsPerOp uint64) {
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(pairsPerOp)*float64(b.N)/sec, "pairs/s")
+	}
+}
+
+// BenchmarkComputeFull measures the full-recompute dense kernel for one
+// paper ROI (16×16×3×3, 40 directions, G=32) — the per-ROI cost the sliding
+// kernel avoids.
+func BenchmarkComputeFull(b *testing.B) {
+	grid := phantomGrid(b, [4]int{32, 32, 8, 8}, 32)
+	dirs := glcm.Directions(4, 1)
+	roi := [4]int{16, 16, 3, 3}
+	m := glcm.NewFull(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		glcm.ComputeFull(grid.Data, grid.Strides(), [4]int{}, roi, dirs, m)
+	}
+	reportPairs(b, glcm.PairCount(roi, dirs))
+}
+
+// BenchmarkComputeSparse measures the full-recompute sparse kernel (dense
+// scratch + touched list, then Flush) for the same ROI.
+func BenchmarkComputeSparse(b *testing.B) {
+	grid := phantomGrid(b, [4]int{32, 32, 8, 8}, 32)
+	dirs := glcm.Directions(4, 1)
+	roi := [4]int{16, 16, 3, 3}
+	bu := glcm.NewSparseBuilder(32)
+	s := glcm.NewSparse(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		glcm.ComputeSparseScratch(grid.Data, grid.Strides(), [4]int{}, roi, dirs, bu)
+		bu.Flush(s)
+	}
+	reportPairs(b, glcm.PairCount(roi, dirs))
+}
+
+// BenchmarkSlidingWindow measures one whole raster row scanned with the
+// sliding-window kernel: a full accumulation at the row start, then one
+// incremental SlideFull per remaining origin. pairs/s counts logical pairs
+// (pairsPerROI × positions), so it is directly comparable to
+// BenchmarkComputeFull — the gap is the overlapping-window reuse win.
+func BenchmarkSlidingWindow(b *testing.B) {
+	grid := phantomGrid(b, [4]int{32, 32, 8, 8}, 32)
+	dirs := glcm.Directions(4, 1)
+	roi := [4]int{16, 16, 3, 3}
+	if !glcm.Reusable(roi, 1, dirs) {
+		b.Fatal("paper ROI should be reusable at stride 1")
+	}
+	nx := grid.Dims[0] - roi[0] + 1
+	m := glcm.NewFull(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		glcm.ComputeFull(grid.Data, grid.Strides(), [4]int{}, roi, dirs, m)
+		for x := 0; x+1 < nx; x++ {
+			glcm.SlideFull(grid.Data, grid.Strides(), [4]int{x, 0, 0, 0}, roi, 1, dirs, m)
+		}
+	}
+	reportPairs(b, glcm.PairCount(roi, dirs)*uint64(nx))
+}
+
+// benchAnalyzeRegion returns an AnalyzeRegion benchmark pinned to one
+// intra-chunk worker count (shared by BenchmarkAnalyzeRegionWorkers and the
+// BENCH_kernels.json writer).
+func benchAnalyzeRegion(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		grid := phantomGrid(b, [4]int{24, 24, 6, 6}, 32)
+		cfg := &core.Config{ROI: [4]int{8, 8, 3, 3}, GrayLevels: 32, Representation: core.SparseMatrix, Workers: workers}
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		outDims, err := volume.OutputDims(grid.Dims, cfg.ROI)
+		if err != nil {
+			b.Fatal(err)
+		}
+		region := &volume.Region{Box: volume.BoxAt([4]int{}, grid.Dims), Data: grid.Data}
+		origins := volume.BoxAt([4]int{}, outDims)
+		pairs := glcm.PairCount(cfg.ROI, cfg.DirectionSet()) * uint64(origins.NumVoxels())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeRegion(region, origins, cfg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportPairs(b, pairs)
+	}
+}
+
+// BenchmarkAnalyzeRegionWorkers sweeps the Workers knob over a full region
+// scan (matrices + paper parameters). Workers=1 is the sequential
+// full-recompute reference; workers>1 stripe raster rows across a pool and
+// reuse overlapping-window work with sliding GLCM updates, so throughput
+// rises even on a single-CPU host. Outputs are bit-identical at every
+// setting (see internal/core TestParallelMatchesSequential).
+func BenchmarkAnalyzeRegionWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", w), benchAnalyzeRegion(w))
 	}
 }
 

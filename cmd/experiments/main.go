@@ -22,12 +22,13 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure id: 7a, 7b, 8, 9, 10, 11, density, zeroskip, iic, dirs, chunk (default: all)")
+		fig      = flag.String("fig", "", "figure id: 7a, 7b, 8, 9, 10, 11, density, zeroskip, iic, dirs, chunk, decluster, kernel (default: all)")
 		scaleS   = flag.String("scale", "small", "experiment scale: tiny, small, paper")
 		dataDir  = flag.String("data", "", "reuse/create the phantom dataset in this directory (default: temp)")
 		csvDir   = flag.String("csv", "", "also write each figure's series as CSV into this directory")
 		repeats  = flag.Int("repeats", 3, "simulation repetitions per configuration (min is reported)")
 		computeS = flag.Float64("compute-scale", experiments.DefaultComputeScale, "virtual seconds per host second on a speed-1 node")
+		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers inside each texture filter (0 = all CPUs, 1 = sequential reference kernel; the kernel figure sweeps this itself)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 	}
 	env.Repeats = *repeats
 	env.ComputeScale = *computeS
+	env.KernelWorkers = *kworkers
 
 	var figs []*experiments.Figure
 	if *fig == "" {

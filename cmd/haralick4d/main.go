@@ -50,24 +50,25 @@ func fail(format string, args ...any) {
 
 func main() {
 	var (
-		data    = flag.String("data", "", "dataset directory (required; see cmd/gendata)")
-		graph   = flag.String("graph", "", "XML pipeline description (overrides the analysis/layout flags)")
-		dicomIn = flag.Bool("dicom", false, "the dataset directory is a DICOM study (see internal/dicom)")
-		out     = flag.String("out", "", "output directory (required unless -format none)")
-		format  = flag.String("format", "jpeg", "output format: jpeg (HIC+JIW), uso (unstitched), none (collect only)")
-		implS   = flag.String("impl", "hmp", "texture implementation: hmp or split")
-		repS    = flag.String("rep", "full", "matrix representation: full, full-noskip, sparse")
-		policyS = flag.String("policy", "demand-driven", "buffer scheduling: round-robin or demand-driven")
-		engineS = flag.String("engine", "local", "execution engine: local, tcp, sim")
-		texture = flag.Int("texture", 4, "texture filter copies (HMP, or HCC+HPC pairs for split)")
-		iic     = flag.Int("iic", 1, "explicit IIC copies")
-		roiS    = flag.String("roi", "16x16x3x3", "ROI window XxYxZxT")
-		chunkS  = flag.String("chunk", "", "IIC-to-TEXTURE chunk shape XxYxZxT (default: auto)")
-		gray    = flag.Int("gray", 32, "gray levels G")
-		featS   = flag.String("features", "", "comma-separated feature names (default: the paper's four)")
-		ndim    = flag.Int("ndim", 4, "direction-set dimensionality (1-4)")
-		dist    = flag.Int("distance", 1, "displacement distance")
-		stats   = flag.Bool("stats", false, "print per-filter runtime statistics")
+		data     = flag.String("data", "", "dataset directory (required; see cmd/gendata)")
+		graph    = flag.String("graph", "", "XML pipeline description (overrides the analysis/layout flags)")
+		dicomIn  = flag.Bool("dicom", false, "the dataset directory is a DICOM study (see internal/dicom)")
+		out      = flag.String("out", "", "output directory (required unless -format none)")
+		format   = flag.String("format", "jpeg", "output format: jpeg (HIC+JIW), uso (unstitched), none (collect only)")
+		implS    = flag.String("impl", "hmp", "texture implementation: hmp or split")
+		repS     = flag.String("rep", "full", "matrix representation: full, full-noskip, sparse")
+		policyS  = flag.String("policy", "demand-driven", "buffer scheduling: round-robin or demand-driven")
+		engineS  = flag.String("engine", "local", "execution engine: local, tcp, sim")
+		texture  = flag.Int("texture", 4, "texture filter copies (HMP, or HCC+HPC pairs for split)")
+		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers per texture filter copy (0 = all CPUs, 1 = sequential reference kernel)")
+		iic      = flag.Int("iic", 1, "explicit IIC copies")
+		roiS     = flag.String("roi", "16x16x3x3", "ROI window XxYxZxT")
+		chunkS   = flag.String("chunk", "", "IIC-to-TEXTURE chunk shape XxYxZxT (default: auto)")
+		gray     = flag.Int("gray", 32, "gray levels G")
+		featS    = flag.String("features", "", "comma-separated feature names (default: the paper's four)")
+		ndim     = flag.Int("ndim", 4, "direction-set dimensionality (1-4)")
+		dist     = flag.Int("distance", 1, "displacement distance")
+		stats    = flag.Bool("stats", false, "print per-filter runtime statistics")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -154,6 +155,7 @@ func main() {
 				Distance:       *dist,
 				Features:       feats,
 				Representation: rep,
+				Workers:        *kworkers,
 			},
 			ChunkShape: chunk,
 			Impl:       impl,

@@ -107,9 +107,15 @@ type Options struct {
 	Features []Feature
 	// Representation selects the matrix storage scheme.
 	Representation Representation
-	// Parallelism is the number of parallel texture workers; 0 uses all
-	// CPUs, 1 forces the sequential reference path.
+	// Parallelism is the number of parallel texture filter copies; 0 uses
+	// all CPUs, 1 forces the sequential reference path.
 	Parallelism int
+	// KernelWorkers bounds the intra-chunk parallelism inside each texture
+	// filter: ROI raster rows are striped across this many workers, whose
+	// per-row kernel reuses overlapping-window work (sliding-window GLCM
+	// updates). 0 uses all CPUs, 1 forces the sequential reference kernel.
+	// Outputs are bit-identical at every setting.
+	KernelWorkers int
 }
 
 func (o *Options) coreConfig() (core.Config, error) {
@@ -122,6 +128,7 @@ func (o *Options) coreConfig() (core.Config, error) {
 			Distance:       o.Distance,
 			Features:       o.Features,
 			Representation: o.Representation,
+			Workers:        o.KernelWorkers,
 		}
 	}
 	err := cfg.Validate()

@@ -598,12 +598,15 @@ func (c *simCtx) sendCommon(port string, copy int, p filter.Payload) error {
 	if copy < 0 && cs.spec.Policy == filter.Explicit {
 		return fmt.Errorf("cluster: port %s.%s is explicit; use SendTo", c.p.name, port)
 	}
-	m := simMsg{port: cs.spec.ToPort, payload: p, bytes: p.SizeBytes() + c.e.overhead}
+	// Size the payload before the send: once delivered the consumer owns it
+	// and may recycle its buffers (see filters.ParamMsg.Recycle).
+	size := p.SizeBytes()
+	m := simMsg{port: cs.spec.ToPort, payload: p, bytes: size + c.e.overhead}
 	if !c.sendRaw(cs, copy, m) {
 		return fmt.Errorf("cluster: run aborted")
 	}
 	c.p.stats.MsgsOut++
-	c.p.stats.BytesOut += int64(p.SizeBytes())
+	c.p.stats.BytesOut += int64(size)
 	return nil
 }
 

@@ -84,6 +84,12 @@ type Config struct {
 	Features []features.Feature
 	// Representation selects the matrix storage scheme.
 	Representation Representation
+	// Workers bounds the intra-chunk parallelism of AnalyzeRegion and the
+	// batch builders: 0 selects GOMAXPROCS, 1 forces the sequential
+	// reference kernel (the verification oracle), and larger values stripe
+	// ROI raster rows across a worker pool whose per-row kernel also reuses
+	// overlapping-window work (glcm.SlideFull / glcm.SlideSparseScratch).
+	Workers int
 }
 
 // DefaultConfig returns the paper's experimental configuration (§5.1) with
@@ -139,6 +145,26 @@ func (c *Config) Validate() error {
 	}
 	if c.Representation < FullMatrix || c.Representation > SparseMatrix {
 		return fmt.Errorf("core: invalid representation %d", int(c.Representation))
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers %d must be >= 0 (0 selects GOMAXPROCS)", c.Workers)
+	}
+	if glcm.PairCount(c.ROI, c.DirectionSet()) == 0 {
+		return fmt.Errorf("core: ROI %v admits no voxel pairs at distance %d with %d direction(s) — every direction's displacement exceeds the ROI extent, so all matrices would be empty", c.ROI, c.Distance, len(c.DirectionSet()))
+	}
+	return nil
+}
+
+// CheckRegion verifies that a region (or chunk) of the given shape can host
+// at least one ROI of the configured size. It exists so that callers which
+// know their data shape up front (the pipeline validator, the library entry
+// points) can reject an oversized ROI with a clear error instead of letting
+// the scan produce an empty output.
+func (c *Config) CheckRegion(shape [4]int) error {
+	for k := range shape {
+		if c.ROI[k] > shape[k] {
+			return fmt.Errorf("core: ROI %v exceeds region shape %v along dimension %d", c.ROI, shape, k)
+		}
 	}
 	return nil
 }
@@ -237,76 +263,27 @@ func ScanRegion(region *volume.Region, origins volume.Box, cfg *Config, stats *S
 	return nil
 }
 
-// SparseBatch computes one freshly allocated sparse co-occurrence matrix
-// per ROI origin of the box, in raster order — the HCC filter's product for
-// one packet. Each matrix is flushed from a reused scratch builder straight
-// into exact-size storage (no intermediate copies).
+// SparseBatch computes one sparse co-occurrence matrix per ROI origin of
+// the box, in raster order — the HCC filter's product for one packet. The
+// matrices of the batch share backing arenas; callers that process chunks
+// in a loop should reuse a MatrixBatch via SparseBatchInto instead.
 func SparseBatch(region *volume.Region, origins volume.Box, cfg *Config, stats *Stats) ([]*glcm.Sparse, error) {
-	if region == nil {
-		return nil, ErrNilRegion
-	}
-	if err := checkOrigins(region, origins, cfg); err != nil {
+	var b MatrixBatch
+	if err := SparseBatchInto(region, origins, cfg, stats, &b); err != nil {
 		return nil, err
 	}
-	dirs := cfg.DirectionSet()
-	strides := volume.Strides(region.Box.Shape())
-	builder := glcm.NewSparseBuilder(cfg.GrayLevels)
-	n := origins.NumVoxels()
-	pairsPerROI := glcm.PairCount(cfg.ROI, dirs)
-
-	// All matrices of the batch share one entry arena and one struct array
-	// (two allocations instead of two per ROI), which matters because a
-	// texture filter produces tens of thousands of matrices per chunk.
-	var scratch glcm.Sparse
-	var arena []glcm.Entry
-	counts := make([]int, 0, n)
-	var totals []uint64
-	var p [4]int
-	for p[3] = origins.Lo[3]; p[3] < origins.Hi[3]; p[3]++ {
-		for p[2] = origins.Lo[2]; p[2] < origins.Hi[2]; p[2]++ {
-			for p[1] = origins.Lo[1]; p[1] < origins.Hi[1]; p[1]++ {
-				for p[0] = origins.Lo[0]; p[0] < origins.Hi[0]; p[0]++ {
-					rel := [4]int{p[0] - region.Box.Lo[0], p[1] - region.Box.Lo[1], p[2] - region.Box.Lo[2], p[3] - region.Box.Lo[3]}
-					glcm.ComputeSparseScratch(region.Data, strides, rel, cfg.ROI, dirs, builder)
-					scratch.G = cfg.GrayLevels
-					builder.Flush(&scratch)
-					arena = append(arena, scratch.Entries...)
-					counts = append(counts, len(scratch.Entries))
-					totals = append(totals, scratch.Total)
-					if stats != nil {
-						stats.ROIs++
-						stats.Pairs += pairsPerROI
-						stats.StoredEntries += int64(len(scratch.Entries))
-					}
-				}
-			}
-		}
-	}
-	out := make([]*glcm.Sparse, n)
-	backing := make([]glcm.Sparse, n)
-	off := 0
-	for i := 0; i < n; i++ {
-		backing[i] = glcm.Sparse{G: cfg.GrayLevels, Entries: arena[off : off+counts[i] : off+counts[i]], Total: totals[i]}
-		out[i] = &backing[i]
-		off += counts[i]
-	}
-	return out, nil
+	return b.Sparse, nil
 }
 
-// FullBatch computes one freshly allocated dense co-occurrence matrix per
-// ROI origin of the box, in raster order — the HCC filter's product when
-// the full representation is configured.
+// FullBatch computes one dense co-occurrence matrix per ROI origin of the
+// box, in raster order — the HCC filter's product when the full
+// representation is configured. See SparseBatch about reuse.
 func FullBatch(region *volume.Region, origins volume.Box, cfg *Config, stats *Stats) ([]*glcm.Full, error) {
-	out := make([]*glcm.Full, 0, origins.NumVoxels())
-	err := ScanRegion(region, origins, cfg, stats, func(_ [4]int, full *glcm.Full, _ *glcm.Sparse) error {
-		cp := &glcm.Full{G: full.G, Counts: append([]uint32(nil), full.Counts...), Total: full.Total}
-		out = append(out, cp)
-		return nil
-	})
-	if err != nil {
+	var b MatrixBatch
+	if err := FullBatchInto(region, origins, cfg, stats, &b); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return b.Full, nil
 }
 
 // checkOrigins verifies that every ROI rooted in origins lies inside the
@@ -327,31 +304,15 @@ func checkOrigins(region *volume.Region, origins volume.Box, cfg *Config) error 
 // AnalyzeRegion runs the complete per-chunk computation (co-occurrence
 // matrices plus Haralick parameters — what the HMP filter does) over the
 // given origins and returns one FloatRegion per requested feature, in the
-// order of cfg.Features.
+// order of cfg.Features. With cfg.Workers resolving above one, the ROI
+// raster rows are striped across a worker pool (see AnalyzeRegionInto);
+// the result is bit-identical to the sequential reference either way.
 func AnalyzeRegion(region *volume.Region, origins volume.Box, cfg *Config, stats *Stats) ([]*volume.FloatRegion, error) {
 	out := make([]*volume.FloatRegion, len(cfg.Features))
 	for i := range out {
 		out[i] = volume.NewFloatRegion(origins)
 	}
-	zeroSkip := cfg.Representation == FullMatrix
-	calc := features.NewCalculator(cfg.GrayLevels, cfg.Features)
-	err := ScanRegion(region, origins, cfg, stats, func(origin [4]int, full *glcm.Full, sparse *glcm.Sparse) error {
-		var vals []float64
-		var err error
-		if sparse != nil {
-			vals, err = calc.FromSparse(sparse)
-		} else {
-			vals, err = calc.FromFull(full, zeroSkip)
-		}
-		if err != nil {
-			return err
-		}
-		for i, v := range vals {
-			out[i].Set(origin, v)
-		}
-		return nil
-	})
-	if err != nil {
+	if err := AnalyzeRegionInto(region, origins, cfg, stats, out); err != nil {
 		return nil, err
 	}
 	return out, nil

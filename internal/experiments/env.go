@@ -111,6 +111,12 @@ type Env struct {
 	// jitter (GC pauses, scheduling noise) that the emulation would
 	// otherwise charge as compute. Default 3.
 	Repeats int
+	// KernelWorkers pins the intra-chunk worker count of the texture
+	// kernel. The paper's figures measure scaling across filter copies, so
+	// the default is 1 (the sequential reference kernel) — leaving each
+	// figure's shape exactly as the paper's single-threaded filters produce
+	// it. The `kernel` figure sweeps this knob explicitly.
+	KernelWorkers int
 }
 
 // Setup generates the phantom study for the scale and writes it, declustered
@@ -127,7 +133,7 @@ func Setup(scale Scale, dir string) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Scale: scale, Store: st, ComputeScale: DefaultComputeScale, QueueDepth: 16, Repeats: 3}, nil
+	return &Env{Scale: scale, Store: st, ComputeScale: DefaultComputeScale, QueueDepth: 16, Repeats: 3, KernelWorkers: 1}, nil
 }
 
 // analysis returns the core analysis config for a representation. The
@@ -138,6 +144,10 @@ func Setup(scale Scale, dir string) (*Env, error) {
 // direction set. The full 40-direction 4D set remains the library default
 // and is swept by the `dirs` ablation.
 func (e *Env) analysis(rep core.Representation) core.Config {
+	workers := e.KernelWorkers
+	if workers == 0 {
+		workers = 1 // zero-value Env: keep the paper-faithful sequential kernel
+	}
 	return core.Config{
 		ROI:            e.Scale.ROI,
 		GrayLevels:     e.Scale.GrayLevels,
@@ -145,5 +155,6 @@ func (e *Env) analysis(rep core.Representation) core.Config {
 		Distance:       1,
 		Directions:     glcm.AxisDirections(4, 1),
 		Representation: rep,
+		Workers:        workers,
 	}
 }

@@ -400,6 +400,9 @@ func (c *localCtx) send(cs *connState, target *copyState, port string, p Payload
 	if p == nil {
 		return fmt.Errorf("filter: %s sent nil payload on %q", c.st.filter, port)
 	}
+	// Size the payload before the delivery: once delivered the consumer owns
+	// it and may recycle its buffers (see filters.ParamMsg.Recycle).
+	size := int64(p.SizeBytes())
 	blockStart := c.markCompute()
 	err := c.rt.deliver(c.st, target, inMsg{port: cs.spec.ToPort, payload: p})
 	now := time.Now()
@@ -409,6 +412,6 @@ func (c *localCtx) send(cs *connState, target *copyState, port string, p Payload
 		return err
 	}
 	c.st.stats.MsgsOut++
-	c.st.stats.BytesOut += int64(p.SizeBytes())
+	c.st.stats.BytesOut += size
 	return nil
 }

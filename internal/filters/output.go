@@ -69,6 +69,7 @@ func NewUSO(cfg USOConfig) func(int) filter.Filter {
 				if err := writeUSORecord(w, pm); err != nil {
 					return err
 				}
+				pm.Recycle()
 			}
 			for ft, w := range writers {
 				if err := w.Flush(); err != nil {
@@ -207,13 +208,15 @@ func NewHIC(cfg HICConfig) func(int) filter.Filter {
 				if a.remaining < 0 {
 					return fmt.Errorf("filters: HIC received overlapping portions for %v", pm.Feature)
 				}
+				ft := pm.Feature
+				pm.Recycle() // values copied into the grid above
 				if a.remaining == 0 {
 					lo, hi := a.grid.MinMax()
-					out := &AssembledMsg{Feature: pm.Feature, Grid: a.grid, Min: lo, Max: hi}
+					out := &AssembledMsg{Feature: ft, Grid: a.grid, Min: lo, Max: hi}
 					if err := ctx.Send(PortOut, out); err != nil {
 						return err
 					}
-					delete(pending, pm.Feature)
+					delete(pending, ft)
 				}
 			}
 			if len(pending) != 0 {
@@ -371,6 +374,7 @@ func NewCollector(res *Results) func(int) filter.Filter {
 				if err := res.add(pm); err != nil {
 					return err
 				}
+				pm.Recycle() // values copied into the shared results above
 			}
 		})
 	}

@@ -19,6 +19,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"haralick4d/internal/core"
 	"haralick4d/internal/features"
 	"haralick4d/internal/glcm"
 	"haralick4d/internal/volume"
@@ -64,6 +65,10 @@ type MatrixBatchMsg struct {
 	Sparse  []*glcm.Sparse
 	Full    []*glcm.Full
 	NoSkip  bool // full-matrix parameter calculation without the zero test
+
+	// scratch is the pooled container whose arenas the matrices alias.
+	// Local-engine only (gob skips it); returned to the pool by Recycle.
+	scratch *core.MatrixBatch
 }
 
 // SizeBytes implements filter.Payload.

@@ -1,0 +1,94 @@
+package filters
+
+import (
+	"sync"
+
+	"haralick4d/internal/core"
+	"haralick4d/internal/features"
+	"haralick4d/internal/volume"
+)
+
+// This file implements recycling of the hot-path message buffers with
+// sync.Pool, so the texture filters reach a steady state with no per-chunk
+// allocation. Ownership discipline: a message's buffers belong to the
+// producer until Send succeeds, then to the single consumer the runtime
+// delivers the payload pointer to, which calls Recycle once the values have
+// been copied or persisted. Over the TCP transport gob materializes fresh
+// objects on the receiving side (the unexported scratch field stays nil),
+// so Recycle degrades gracefully to pooling those.
+
+var (
+	paramPool   = sync.Pool{New: func() any { return new(ParamMsg) }}
+	floatPool   sync.Pool // holds *[]float64
+	batchPool   = sync.Pool{New: func() any { return new(MatrixBatchMsg) }}
+	scratchPool = sync.Pool{New: func() any { return new(core.MatrixBatch) }}
+)
+
+// getFloats returns a zeroed []float64 of length n, reusing pooled backing
+// when its capacity suffices.
+func getFloats(n int) []float64 {
+	if p, ok := floatPool.Get().(*[]float64); ok && cap(*p) >= n {
+		s := (*p)[:n]
+		clear(s)
+		return s
+	}
+	return make([]float64, n)
+}
+
+func putFloats(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	floatPool.Put(&s)
+}
+
+// newParamMsg assembles a pooled ParamMsg, taking ownership of vals.
+func newParamMsg(f features.Feature, box volume.Box, vals []float64) *ParamMsg {
+	m := paramPool.Get().(*ParamMsg)
+	m.Feature, m.Box, m.Values = f, box, vals
+	return m
+}
+
+// Recycle returns the message and its Values backing to the pools. Only the
+// message's final consumer may call it, after the values have been copied
+// or persisted; the message must not be touched afterwards.
+func (m *ParamMsg) Recycle() {
+	putFloats(m.Values)
+	m.Values = nil
+	paramPool.Put(m)
+}
+
+// getBatchScratch leases a reusable matrix-batch container for the HCC
+// filter; it rides inside the MatrixBatchMsg and returns to the pool when
+// the consumer recycles the message.
+func getBatchScratch() *core.MatrixBatch {
+	return scratchPool.Get().(*core.MatrixBatch)
+}
+
+// newMatrixBatchMsg assembles a pooled MatrixBatchMsg publishing whichever
+// representation the scratch holds.
+func newMatrixBatchMsg(chunk int, origins volume.Box, g int, noSkip bool, scratch *core.MatrixBatch) *MatrixBatchMsg {
+	m := batchPool.Get().(*MatrixBatchMsg)
+	m.Chunk, m.Origins, m.G, m.NoSkip = chunk, origins, g, noSkip
+	m.Sparse, m.Full = nil, nil
+	if len(scratch.Sparse) > 0 {
+		m.Sparse = scratch.Sparse
+	} else {
+		m.Full = scratch.Full
+	}
+	m.scratch = scratch
+	return m
+}
+
+// Recycle returns the message — and, on the producing node, the batch
+// container whose arenas the matrices alias — to the pools. Only the final
+// consumer may call it; the matrices become invalid immediately.
+func (m *MatrixBatchMsg) Recycle() {
+	m.Sparse, m.Full = nil, nil
+	if m.scratch != nil {
+		scratchPool.Put(m.scratch)
+		m.scratch = nil
+	}
+	batchPool.Put(m)
+}

@@ -9,6 +9,10 @@ import (
 	"haralick4d/internal/volume"
 )
 
+// defaultPacketsPerChunk is the paper's packetization: a packet whenever a
+// quarter of a chunk has been processed.
+const defaultPacketsPerChunk = 4
+
 // TextureConfig is shared by the texture analysis filters.
 type TextureConfig struct {
 	Analysis core.Config
@@ -18,19 +22,39 @@ type TextureConfig struct {
 	// USO/Collector copies.
 	RouteByFeature bool
 	// PacketsPerChunk is how many co-occurrence matrix packets HCC emits
-	// per chunk (paper: a packet whenever a quarter of a chunk had been
-	// processed). Default 4. Ignored by HMP/HPC.
+	// per chunk. Zero selects the default (4); negative values are rejected
+	// by Validate. Ignored by HMP/HPC.
 	PacketsPerChunk int
 }
 
+// Validate checks the filter-level knobs. The embedded Analysis config is
+// validated separately by each filter on its private copy (core.Config
+// validation fills defaults in place).
+func (c *TextureConfig) Validate() error {
+	if c.PacketsPerChunk < 0 {
+		return fmt.Errorf("filters: PacketsPerChunk %d must be >= 0 (0 selects the default %d)",
+			c.PacketsPerChunk, defaultPacketsPerChunk)
+	}
+	return nil
+}
+
 func (c *TextureConfig) packets() int {
-	if c.PacketsPerChunk <= 0 {
-		return 4
+	if c.PacketsPerChunk == 0 {
+		return defaultPacketsPerChunk
 	}
 	return c.PacketsPerChunk
 }
 
 // sendParam emits a ParamMsg under the configured routing discipline.
+//
+// Routing invariant: with RouteByFeature set, every message for a given
+// feature — from every producer copy — lands on the same consumer copy
+// (feature index mod copies). HIC depends on this: each of its copies
+// counts the voxels it has stitched per feature and emits the assembled
+// dataset when the count completes, so splitting one feature's portions
+// across copies would deadlock the assembly. Without RouteByFeature the
+// engine picks any consumer copy, which is only correct for sinks whose
+// copies share state (Collector) or keep per-feature files apart (USO).
 func sendParam(ctx filter.Context, cfg *TextureConfig, m *ParamMsg) error {
 	if cfg.RouteByFeature {
 		copies := ctx.ConsumerCopies(PortOut)
@@ -45,13 +69,24 @@ func sendParam(ctx filter.Context, cfg *TextureConfig, m *ParamMsg) error {
 // NewHMP returns the HaralickMatrixProducer factory: the combined texture
 // filter that computes the co-occurrence matrix and all selected Haralick
 // parameters for every ROI of each incoming chunk, emitting one ParamMsg
-// per parameter per chunk.
+// per parameter per chunk. With Analysis.Workers resolving above one, each
+// chunk's ROI rows are striped across an intra-filter worker pool
+// (core.AnalyzeRegionInto); output values are bit-identical either way.
 func NewHMP(cfg TextureConfig) func(int) filter.Filter {
 	return func(copy int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
+			if err := cfg.Validate(); err != nil {
+				return err
+			}
 			acfg := cfg.Analysis
 			if err := acfg.Validate(); err != nil {
 				return err
+			}
+			// Persistent output-region headers; the float backing is leased
+			// from the pool per chunk and rides out inside the ParamMsgs.
+			outs := make([]*volume.FloatRegion, len(acfg.Features))
+			for i := range outs {
+				outs[i] = &volume.FloatRegion{}
 			}
 			for {
 				m, ok := ctx.Recv()
@@ -62,12 +97,17 @@ func NewHMP(cfg TextureConfig) func(int) filter.Filter {
 				if !okType {
 					return fmt.Errorf("filters: HMP received %T", m.Payload)
 				}
-				regions, err := core.AnalyzeRegion(chunk.Region, chunk.Origins, &acfg, nil)
-				if err != nil {
+				n := chunk.Origins.NumVoxels()
+				for i := range outs {
+					outs[i].Box = chunk.Origins
+					outs[i].Data = getFloats(n)
+				}
+				if err := core.AnalyzeRegionInto(chunk.Region, chunk.Origins, &acfg, nil, outs); err != nil {
 					return err
 				}
-				for i, fr := range regions {
-					out := &ParamMsg{Feature: acfg.Features[i], Box: fr.Box, Values: fr.Data}
+				for i, fr := range outs {
+					out := newParamMsg(acfg.Features[i], fr.Box, fr.Data)
+					fr.Data = nil // ownership moves to the message
 					if err := sendParam(ctx, &cfg, out); err != nil {
 						return err
 					}
@@ -81,10 +121,14 @@ func NewHMP(cfg TextureConfig) func(int) filter.Filter {
 // the split implementation. For each chunk it rasters the ROI origins,
 // computes one co-occurrence matrix per ROI in the configured
 // representation, and ships them to the HPC filters in packets covering a
-// fraction of the chunk.
+// fraction of the chunk. Packet containers are pooled: the consumer's
+// Recycle returns each batch's arenas for the next chunk.
 func NewHCC(cfg TextureConfig) func(int) filter.Filter {
 	return func(copy int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
+			if err := cfg.Validate(); err != nil {
+				return err
+			}
 			acfg := cfg.Analysis
 			if err := acfg.Validate(); err != nil {
 				return err
@@ -100,21 +144,18 @@ func NewHCC(cfg TextureConfig) func(int) filter.Filter {
 					return fmt.Errorf("filters: HCC received %T", m.Payload)
 				}
 				for _, sub := range SplitBox(chunk.Origins, cfg.packets()) {
-					batch := &MatrixBatchMsg{
-						Chunk:   chunk.Chunk,
-						Origins: sub,
-						G:       acfg.GrayLevels,
-						NoSkip:  acfg.Representation == core.FullMatrixNoSkip,
-					}
+					scratch := getBatchScratch()
 					var err error
 					if sparse {
-						batch.Sparse, err = core.SparseBatch(chunk.Region, sub, &acfg, nil)
+						err = core.SparseBatchInto(chunk.Region, sub, &acfg, nil, scratch)
 					} else {
-						batch.Full, err = core.FullBatch(chunk.Region, sub, &acfg, nil)
+						err = core.FullBatchInto(chunk.Region, sub, &acfg, nil, scratch)
 					}
 					if err != nil {
 						return err
 					}
+					batch := newMatrixBatchMsg(chunk.Chunk, sub, acfg.GrayLevels,
+						acfg.Representation == core.FullMatrixNoSkip, scratch)
 					if err := ctx.Send(PortOut, batch); err != nil {
 						return err
 					}
@@ -128,15 +169,22 @@ func NewHCC(cfg TextureConfig) func(int) filter.Filter {
 // of the split implementation. It computes every selected Haralick
 // parameter from each matrix of each incoming packet — directly from the
 // sparse form when the matrices arrive sparse — and emits one ParamMsg per
-// parameter per packet.
+// parameter per packet, recycling the packet afterwards.
 func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 	return func(copy int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
+			if err := cfg.Validate(); err != nil {
+				return err
+			}
 			acfg := cfg.Analysis
 			if err := acfg.Validate(); err != nil {
 				return err
 			}
 			calc := features.NewCalculator(acfg.GrayLevels, acfg.Features)
+			outs := make([]*volume.FloatRegion, len(acfg.Features))
+			for i := range outs {
+				outs[i] = &volume.FloatRegion{}
+			}
 			for {
 				m, ok := ctx.Recv()
 				if !ok {
@@ -151,9 +199,9 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 					return fmt.Errorf("filters: packet for %v has %d+%d matrices, want %d",
 						batch.Origins, len(batch.Sparse), len(batch.Full), n)
 				}
-				outs := make([]*volume.FloatRegion, len(acfg.Features))
 				for i := range outs {
-					outs[i] = volume.NewFloatRegion(batch.Origins)
+					outs[i].Box = batch.Origins
+					outs[i].Data = getFloats(n)
 				}
 				for k := 0; k < n; k++ {
 					var vals []float64
@@ -171,11 +219,13 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 					}
 				}
 				for i, fr := range outs {
-					out := &ParamMsg{Feature: acfg.Features[i], Box: fr.Box, Values: fr.Data}
+					out := newParamMsg(acfg.Features[i], fr.Box, fr.Data)
+					fr.Data = nil
 					if err := sendParam(ctx, &cfg, out); err != nil {
 						return err
 					}
 				}
+				batch.Recycle()
 			}
 		})
 	}

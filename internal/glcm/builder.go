@@ -71,6 +71,49 @@ func (b *SparseBuilder) Flush(s *Sparse) {
 	b.total = 0
 }
 
+// Snapshot extracts the accumulated matrix into s (replacing its contents)
+// like Flush, but keeps the builder's state so that accumulation can
+// continue — the extraction point of the sliding-window kernel, which
+// carries the builder across an ROI row. Touched keys whose count has been
+// driven back to zero by slab subtraction are compacted away, restoring the
+// invariant that every touched key has a non-zero count.
+func (b *SparseBuilder) Snapshot(s *Sparse) {
+	slices.Sort(b.touched)
+	s.Reset()
+	s.G = b.g
+	if cap(s.Entries) < len(b.touched) {
+		s.Entries = make([]Entry, 0, len(b.touched))
+	}
+	w := 0
+	for _, k := range b.touched {
+		c := b.counts[k]
+		if c == 0 {
+			continue // zeroed by a slide subtraction; drop from the list
+		}
+		b.touched[w] = k
+		w++
+		i := uint8(int(k) / b.g)
+		j := uint8(int(k) % b.g)
+		if i <= j { // the mirror cell (j, i) carries the same count
+			s.Entries = append(s.Entries, Entry{I: i, J: j, Count: c})
+		}
+	}
+	b.touched = b.touched[:w]
+	s.Total = b.total
+}
+
+// Clear discards the accumulated state (counts, touched keys, total) so the
+// builder can start an unrelated matrix, at O(touched) cost. Needed when a
+// sliding-window row ends: Snapshot retains the counts, so the next row
+// must not inherit them.
+func (b *SparseBuilder) Clear() {
+	for _, k := range b.touched {
+		b.counts[k] = 0
+	}
+	b.touched = b.touched[:0]
+	b.total = 0
+}
+
 // ComputeSparseScratch accumulates the same pair set as ComputeFull into the
 // builder (call Flush afterwards to obtain the Sparse matrix). This is the
 // accumulation kernel used by the texture filters for the sparse

@@ -1,0 +1,212 @@
+package glcm
+
+// This file contains the incremental sliding-window kernels: when two ROIs
+// on the same x raster row overlap (origin stride along x smaller than the
+// ROI's x extent), the second ROI's co-occurrence matrix is obtained from
+// the first by subtracting the pair contributions of the departing x slab
+// and adding those of the entering slab, instead of re-rastering the whole
+// ROI. For each direction the pair box of the shifted ROI is the pair box
+// of the original ROI translated by the stride along x (pairBounds depends
+// only on the ROI shape), so the update touches stride·Y·Z·T voxels per
+// direction instead of X·Y·Z·T.
+//
+// Because all counts are integers, the slide is exact: the updated matrix
+// is bit-identical to a full recompute at the new origin. The sequential
+// kernels in compute.go remain the verification oracle.
+
+// Reusable reports whether sliding a window of the given shape by stride
+// voxels along x reuses any accumulated pairs: at least one direction's
+// pair box must be wider along x than the stride. When it returns false a
+// slide degenerates to a full subtract + full re-accumulate and a plain
+// recompute (ComputeFull / ComputeSparseScratch) is the better kernel.
+func Reusable(shape [4]int, stride int, dirs []Direction) bool {
+	if stride < 1 {
+		return false
+	}
+	for _, d := range dirs {
+		lo, hi, ok := pairBounds(shape, d)
+		if ok && hi[0]-lo[0] > stride {
+			return true
+		}
+	}
+	return false
+}
+
+// slabX returns the half-open x ranges (relative to the ROI origin) of the
+// departing and entering slabs when a pair box spanning [lo0, hi0) along x
+// is shifted by stride: the old box is [lo0, hi0), the new box is
+// [lo0+stride, hi0+stride), so [lo0, min(hi0, lo0+stride)) departs and
+// [max(hi0, lo0+stride), hi0+stride) enters. The two slabs always have
+// equal width, so the matrix total is invariant across a slide.
+func slabX(lo0, hi0, stride int) (subLo, subHi, addLo, addHi int) {
+	subLo, subHi = lo0, lo0+stride
+	if subHi > hi0 {
+		subHi = hi0
+	}
+	addLo, addHi = hi0, hi0+stride
+	if addLo < lo0+stride {
+		addLo = lo0 + stride
+	}
+	return
+}
+
+// fullSlab accumulates delta (+1 or, via two's-complement wrap-around, -1)
+// into both mirror cells for every pair of direction d whose voxel falls in
+// the box [lo, hi) restricted to x ∈ [x0, x1), all relative to the ROI
+// origin resolved into base. It returns the number of pairs visited.
+func fullSlab(data []uint8, strides [4]int, base int, lo, hi [4]int, x0, x1, off, g int, counts []uint32, delta uint32) uint64 {
+	if x0 >= x1 {
+		return 0
+	}
+	var pairs uint64
+	for t := lo[3]; t < hi[3]; t++ {
+		it := base + t*strides[3]
+		for z := lo[2]; z < hi[2]; z++ {
+			iz := it + z*strides[2]
+			for y := lo[1]; y < hi[1]; y++ {
+				iy := iz + y*strides[1]
+				i0 := iy + x0*strides[0]
+				for x := x0; x < x1; x++ {
+					a := data[i0]
+					b := data[i0+off]
+					counts[int(a)*g+int(b)] += delta
+					counts[int(b)*g+int(a)] += delta
+					pairs++
+					i0 += strides[0]
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// SlideFull updates m — which must hold the co-occurrence matrix of the ROI
+// at origin with the given shape — to hold the matrix of the ROI at
+// origin+stride along x. The caller must ensure both ROIs lie inside the
+// addressed grid. The update is exact (integer counts): the result is
+// bit-identical to resetting m and calling ComputeFull at the new origin.
+func SlideFull(data []uint8, strides, origin, shape [4]int, stride int, dirs []Direction, m *Full) {
+	g := m.G
+	counts := m.Counts
+	base := origin[0]*strides[0] + origin[1]*strides[1] + origin[2]*strides[2] + origin[3]*strides[3]
+	var added, removed uint64
+	for _, d := range dirs {
+		lo, hi, ok := pairBounds(shape, d)
+		if !ok {
+			continue
+		}
+		off := d[0]*strides[0] + d[1]*strides[1] + d[2]*strides[2] + d[3]*strides[3]
+		subLo, subHi, addLo, addHi := slabX(lo[0], hi[0], stride)
+		removed += fullSlab(data, strides, base, lo, hi, subLo, subHi, off, g, counts, ^uint32(0))
+		added += fullSlab(data, strides, base, lo, hi, addLo, addHi, off, g, counts, 1)
+	}
+	m.Total += 2 * added
+	m.Total -= 2 * removed
+}
+
+// builderAddSlab accumulates the pairs of one slab into the builder,
+// appending newly touched keys exactly like ComputeSparseScratch.
+func builderAddSlab(data []uint8, strides [4]int, base int, lo, hi [4]int, x0, x1, off int, b *SparseBuilder) uint64 {
+	if x0 >= x1 {
+		return 0
+	}
+	g := b.g
+	counts := b.counts
+	var pairs uint64
+	for t := lo[3]; t < hi[3]; t++ {
+		it := base + t*strides[3]
+		for z := lo[2]; z < hi[2]; z++ {
+			iz := it + z*strides[2]
+			for y := lo[1]; y < hi[1]; y++ {
+				iy := iz + y*strides[1]
+				i0 := iy + x0*strides[0]
+				for x := x0; x < x1; x++ {
+					a := data[i0]
+					c := data[i0+off]
+					i0 += strides[0]
+					k1 := int(a)*g + int(c)
+					k2 := int(c)*g + int(a)
+					if counts[k1] == 0 {
+						b.touched = append(b.touched, uint16(k1))
+					}
+					counts[k1]++
+					if counts[k2] == 0 {
+						b.touched = append(b.touched, uint16(k2))
+					}
+					counts[k2]++
+					pairs++
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// builderSubSlab removes the pairs of one slab from the builder. Keys whose
+// count reaches zero stay on the touched list until the next Snapshot
+// compacts them away; until then no pairs may be added (an add would see
+// the zero count and register the key a second time), which is why
+// SlideSparseScratch performs all additions before any subtraction.
+func builderSubSlab(data []uint8, strides [4]int, base int, lo, hi [4]int, x0, x1, off int, b *SparseBuilder) uint64 {
+	if x0 >= x1 {
+		return 0
+	}
+	g := b.g
+	counts := b.counts
+	var pairs uint64
+	for t := lo[3]; t < hi[3]; t++ {
+		it := base + t*strides[3]
+		for z := lo[2]; z < hi[2]; z++ {
+			iz := it + z*strides[2]
+			for y := lo[1]; y < hi[1]; y++ {
+				iy := iz + y*strides[1]
+				i0 := iy + x0*strides[0]
+				for x := x0; x < x1; x++ {
+					a := data[i0]
+					c := data[i0+off]
+					i0 += strides[0]
+					counts[int(a)*g+int(c)]--
+					counts[int(c)*g+int(a)]--
+					pairs++
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// SlideSparseScratch updates the builder — which must hold the accumulated
+// pairs of the ROI at origin with the given shape — to hold the pairs of
+// the ROI at origin+stride along x. Call Snapshot afterwards to extract the
+// sparse matrix; the result is bit-identical to a fresh accumulate + Flush
+// at the new origin.
+//
+// The entering slabs of every direction are accumulated before any
+// departing slab is removed: subtraction can drive a touched key's count to
+// zero without delisting it, and an addition on such a key would register
+// it twice. With all additions first, the builder's zero-count-means-
+// untouched invariant holds whenever keys are appended.
+func SlideSparseScratch(data []uint8, strides, origin, shape [4]int, stride int, dirs []Direction, b *SparseBuilder) {
+	base := origin[0]*strides[0] + origin[1]*strides[1] + origin[2]*strides[2] + origin[3]*strides[3]
+	var added, removed uint64
+	for _, d := range dirs {
+		lo, hi, ok := pairBounds(shape, d)
+		if !ok {
+			continue
+		}
+		off := d[0]*strides[0] + d[1]*strides[1] + d[2]*strides[2] + d[3]*strides[3]
+		_, _, addLo, addHi := slabX(lo[0], hi[0], stride)
+		added += builderAddSlab(data, strides, base, lo, hi, addLo, addHi, off, b)
+	}
+	for _, d := range dirs {
+		lo, hi, ok := pairBounds(shape, d)
+		if !ok {
+			continue
+		}
+		off := d[0]*strides[0] + d[1]*strides[1] + d[2]*strides[2] + d[3]*strides[3]
+		subLo, subHi, _, _ := slabX(lo[0], hi[0], stride)
+		removed += builderSubSlab(data, strides, base, lo, hi, subLo, subHi, off, b)
+	}
+	b.total += 2 * added
+	b.total -= 2 * removed
+}

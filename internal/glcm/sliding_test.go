@@ -1,0 +1,127 @@
+package glcm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randData(rng *rand.Rand, dims [4]int, g int) []uint8 {
+	n := dims[0] * dims[1] * dims[2] * dims[3]
+	d := make([]uint8, n)
+	for i := range d {
+		d[i] = uint8(rng.Intn(g))
+	}
+	return d
+}
+
+func randDirs(rng *rand.Rand) []Direction {
+	switch rng.Intn(4) {
+	case 0:
+		return Directions(2, 1)
+	case 1:
+		return Directions(4, 1)
+	case 2:
+		return AxisDirections(4, 1)
+	default:
+		return Directions(3, 1+rng.Intn(2))
+	}
+}
+
+// TestSlideFullMatchesRecompute slides a window along random rows and
+// checks every intermediate matrix is bit-identical to a full recompute.
+func TestSlideFullMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		g := 2 + rng.Intn(30)
+		dims := [4]int{6 + rng.Intn(14), 4 + rng.Intn(6), 2 + rng.Intn(4), 2 + rng.Intn(4)}
+		data := randData(rng, dims, g)
+		strides := Strides(dims)
+		dirs := randDirs(rng)
+		shape := [4]int{1 + rng.Intn(5), 1 + rng.Intn(4), 1 + rng.Intn(2), 1 + rng.Intn(2)}
+		stride := 1 + rng.Intn(3)
+		maxX := dims[0] - shape[0]
+		if maxX < stride {
+			continue
+		}
+		origin := [4]int{0, rng.Intn(dims[1] - shape[1] + 1), rng.Intn(dims[2] - shape[2] + 1), rng.Intn(dims[3] - shape[3] + 1)}
+
+		m := NewFull(g)
+		ComputeFull(data, strides, origin, shape, dirs, m)
+		for origin[0]+stride <= maxX {
+			SlideFull(data, strides, origin, shape, stride, dirs, m)
+			origin[0] += stride
+			want := NewFull(g)
+			ComputeFull(data, strides, origin, shape, dirs, want)
+			if m.Total != want.Total || !reflect.DeepEqual(m.Counts, want.Counts) {
+				t.Fatalf("iter %d: slide to %v diverged from recompute (total %d vs %d)", iter, origin, m.Total, want.Total)
+			}
+		}
+	}
+}
+
+// TestSlideSparseScratchMatchesFlush slides the builder along rows and
+// checks every Snapshot is bit-identical to a fresh accumulate + Flush.
+func TestSlideSparseScratchMatchesFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 60; iter++ {
+		g := 2 + rng.Intn(30)
+		dims := [4]int{6 + rng.Intn(14), 4 + rng.Intn(6), 2 + rng.Intn(4), 2 + rng.Intn(4)}
+		data := randData(rng, dims, g)
+		strides := Strides(dims)
+		dirs := randDirs(rng)
+		shape := [4]int{2 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(2), 1 + rng.Intn(2)}
+		stride := 1 + rng.Intn(2)
+		maxX := dims[0] - shape[0]
+		if maxX < stride {
+			continue
+		}
+		origin := [4]int{0, rng.Intn(dims[1] - shape[1] + 1), rng.Intn(dims[2] - shape[2] + 1), rng.Intn(dims[3] - shape[3] + 1)}
+
+		b := NewSparseBuilder(g)
+		got := NewSparse(g)
+		ref := NewSparseBuilder(g)
+		want := NewSparse(g)
+		ComputeSparseScratch(data, strides, origin, shape, dirs, b)
+		b.Snapshot(got)
+		for origin[0]+stride <= maxX {
+			SlideSparseScratch(data, strides, origin, shape, stride, dirs, b)
+			origin[0] += stride
+			b.Snapshot(got)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("iter %d: snapshot at %v invalid: %v", iter, origin, err)
+			}
+			ComputeSparseScratch(data, strides, origin, shape, dirs, ref)
+			ref.Flush(want)
+			if got.Total != want.Total || !reflect.DeepEqual(got.Entries, want.Entries) {
+				t.Fatalf("iter %d: sparse slide to %v diverged (total %d vs %d, %d vs %d entries)",
+					iter, origin, got.Total, want.Total, len(got.Entries), len(want.Entries))
+			}
+		}
+		// A cleared builder must start the next row from scratch.
+		b.Clear()
+		ComputeSparseScratch(data, strides, [4]int{0, 0, 0, 0}, shape, dirs, b)
+		b.Snapshot(got)
+		ComputeSparseScratch(data, strides, [4]int{0, 0, 0, 0}, shape, dirs, ref)
+		ref.Flush(want)
+		if got.Total != want.Total || !reflect.DeepEqual(got.Entries, want.Entries) {
+			t.Fatalf("iter %d: builder Clear left residue", iter)
+		}
+	}
+}
+
+func TestReusable(t *testing.T) {
+	dirs := Directions(4, 1)
+	if !Reusable([4]int{16, 16, 3, 3}, 1, dirs) {
+		t.Error("paper ROI with stride 1 should be reusable")
+	}
+	if Reusable([4]int{16, 16, 3, 3}, 16, dirs) {
+		t.Error("stride equal to the ROI x extent reuses nothing")
+	}
+	if Reusable([4]int{1, 8, 3, 3}, 1, dirs) {
+		t.Error("x extent 1 leaves no pair box wider than the stride")
+	}
+	if Reusable([4]int{16, 16, 3, 3}, 0, dirs) {
+		t.Error("non-positive stride is not a slide")
+	}
+}

@@ -95,6 +95,12 @@ func (c *Config) Validate(datasetDims [4]int) error {
 	if err := c.Analysis.Validate(); err != nil {
 		return err
 	}
+	if err := c.Analysis.CheckRegion(datasetDims); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	if c.PacketsPerChunk < 0 {
+		return fmt.Errorf("pipeline: PacketsPerChunk %d must be >= 0 (0 selects the default)", c.PacketsPerChunk)
+	}
 	if c.ChunkShape == ([4]int{}) {
 		c.ChunkShape = defaultChunkShape(datasetDims, c.Analysis.ROI)
 	}

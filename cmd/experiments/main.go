@@ -14,10 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 
 	"haralick4d/internal/experiments"
+	"haralick4d/internal/metrics"
 )
 
 func main() {
@@ -29,8 +32,20 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "simulation repetitions per configuration (min is reported)")
 		computeS = flag.Float64("compute-scale", experiments.DefaultComputeScale, "virtual seconds per host second on a speed-1 node")
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers inside each texture filter (0 = all CPUs, 1 = sequential reference kernel; the kernel figure sweeps this itself)")
+		metricsF = flag.Bool("metrics", false, "after each figure, print the run report of its last engine run")
+		metJSON  = flag.String("metrics-json", "", "write the last figure's run report as JSON to this file (\"-\" for stdout)")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
+
+	if *pprofAt != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAt)
+	}
 
 	scale, err := experiments.ScaleByName(*scaleS)
 	if err != nil {
@@ -57,20 +72,29 @@ func main() {
 	env.ComputeScale = *computeS
 	env.KernelWorkers = *kworkers
 
-	var figs []*experiments.Figure
-	if *fig == "" {
-		figs, err = experiments.All(env)
-	} else {
-		var f *experiments.Figure
-		f, err = experiments.ByID(env, *fig)
-		figs = append(figs, f)
+	ids := experiments.AllIDs()
+	if *fig != "" {
+		ids = []string{*fig}
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
-	}
-	for _, f := range figs {
+	// jsonReport tracks the most recent engine run across figures: the
+	// in-process figures (density, zeroskip, dirs) never run an engine and
+	// leave no report.
+	var jsonReport *metrics.RunReport
+	for _, id := range ids {
+		env.LastReport = nil
+		f, err := experiments.ByID(env, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Println(f.String())
+		if env.LastReport != nil {
+			jsonReport = env.LastReport
+			if *metricsF {
+				fmt.Print(env.LastReport.String())
+				fmt.Println()
+			}
+		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -82,6 +106,27 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("  (csv: %s)\n\n", path)
+		}
+	}
+	if *metJSON != "" {
+		if jsonReport == nil {
+			fmt.Fprintln(os.Stderr, "experiments: -metrics-json: no engine run produced a report")
+			os.Exit(1)
+		}
+		if err := jsonReport.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: run report: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := jsonReport.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: run report: %v\n", err)
+			os.Exit(1)
+		}
+		if *metJSON == "-" {
+			os.Stdout.Write(append(data, '\n'))
+		} else if err := os.WriteFile(*metJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

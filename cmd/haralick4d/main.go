@@ -15,9 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 
 	"haralick4d/internal/core"
@@ -69,6 +73,9 @@ func main() {
 		ndim     = flag.Int("ndim", 4, "direction-set dimensionality (1-4)")
 		dist     = flag.Int("distance", 1, "displacement distance")
 		stats    = flag.Bool("stats", false, "print per-filter runtime statistics")
+		metricsF = flag.Bool("metrics", false, "print the structured run report (per-filter spans, streams, critical path)")
+		metJSON  = flag.String("metrics-json", "", "write the run report as JSON to this file (\"-\" for stdout)")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -204,19 +211,49 @@ func main() {
 		}
 	}
 
+	if *pprofAt != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "haralick4d: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAt)
+	}
+
 	g, sink, outDims, err := study.build(cfg, layout)
 	if err != nil {
 		fail("%v", err)
 	}
 	fmt.Printf("dataset %v, ROI %v, G=%d, %s/%s/%s on %s engine\n",
 		dims, cfg.Analysis.ROI, cfg.Analysis.GrayLevels, cfg.Impl, cfg.Analysis.Representation, cfg.Policy, engine)
-	rs, err := pipeline.Run(g, engine, nil)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rs, err := pipeline.RunContext(ctx, g, engine, nil)
 	if err != nil {
 		fail("%v", err)
 	}
 	fmt.Printf("done in %v; output dims %v\n", rs.Elapsed, outDims)
 	if *stats {
 		fmt.Print(rs.String())
+	}
+	if *metricsF || *metJSON != "" {
+		if err := rs.Report.Validate(); err != nil {
+			fail("run report: %v", err)
+		}
+	}
+	if *metricsF {
+		fmt.Print(rs.Report.String())
+	}
+	if *metJSON != "" {
+		data, err := rs.Report.JSON()
+		if err != nil {
+			fail("run report: %v", err)
+		}
+		if *metJSON == "-" {
+			os.Stdout.Write(append(data, '\n'))
+		} else if err := os.WriteFile(*metJSON, append(data, '\n'), 0o644); err != nil {
+			fail("%v", err)
+		}
 	}
 	if sink != nil {
 		fmt.Println("results collected in memory (use -format jpeg or uso to persist)")

@@ -19,12 +19,15 @@
 package haralick4d
 
 import (
+	"context"
 	"runtime"
+	"time"
 
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
 	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
+	"haralick4d/internal/metrics"
 	"haralick4d/internal/pipeline"
 	"haralick4d/internal/synthetic"
 	"haralick4d/internal/volume"
@@ -95,17 +98,21 @@ func NewVolume(dims [4]int) *Volume { return volume.NewVolume(dims) }
 // optimized full-matrix representation.
 type Options struct {
 	// ROI is the region-of-interest window shape (x, y, z, t).
+	// Zero value: 16×16×3×3, the paper's window.
 	ROI [4]int
 	// GrayLevels is the requantization level count G (co-occurrence
-	// matrices are G×G).
+	// matrices are G×G). Zero value: 32; valid range [2, 256].
 	GrayLevels int
 	// NDim selects the direction-set dimensionality (1–4).
+	// Zero value: 4 (all 40 unique 4D directions).
 	NDim int
-	// Distance is the voxel-pair displacement magnitude.
+	// Distance is the voxel-pair displacement magnitude. Zero value: 1.
 	Distance int
-	// Features are the Haralick parameters to compute.
+	// Features are the Haralick parameters to compute. Zero value (nil):
+	// the paper's four (ASM, correlation, variance, IDM).
 	Features []Feature
-	// Representation selects the matrix storage scheme.
+	// Representation selects the matrix storage scheme. Zero value:
+	// FullMatrix, the paper's optimized full representation.
 	Representation Representation
 	// Parallelism is the number of parallel texture filter copies; 0 uses
 	// all CPUs, 1 forces the sequential reference path.
@@ -116,6 +123,19 @@ type Options struct {
 	// updates). 0 uses all CPUs, 1 forces the sequential reference kernel.
 	// Outputs are bit-identical at every setting.
 	KernelWorkers int
+	// DisableMetrics turns off the run's observability layer; Result.Report
+	// stays nil. Metrics are on by default and cost a few atomic operations
+	// per stream buffer.
+	DisableMetrics bool
+}
+
+// Validate checks the options and reports the first problem — the same
+// error an Analyze call would return before doing any work. It does not
+// modify o; zero-valued fields are valid and select the documented
+// defaults.
+func (o *Options) Validate() error {
+	_, err := o.coreConfig()
+	return err
 }
 
 func (o *Options) coreConfig() (core.Config, error) {
@@ -142,6 +162,13 @@ func (o *Options) workers() int {
 	return o.Parallelism
 }
 
+// RunReport is the structured observability report of one analysis run:
+// per-filter busy/blocked/stalled times and span decompositions (read,
+// assemble, compute, emit, write), per-stream traffic, network activity
+// under the TCP engine, and a pipeline-wide critical-path summary. It
+// serializes to JSON via encoding/json or its JSON method.
+type RunReport = metrics.RunReport
+
 // Result holds the assembled parameter images of one analysis.
 type Result struct {
 	// Grids maps each requested feature to its 4D parameter image. The
@@ -150,6 +177,11 @@ type Result struct {
 	Grids map[Feature]*FloatGrid
 	// OutputDims are the dimensions of every grid.
 	OutputDims [4]int
+	// Report is the run's observability report: nil only when
+	// Options.DisableMetrics is set. Sequential runs (Parallelism 1)
+	// report a single SEQ pseudo-filter with the whole scan as one
+	// compute span.
+	Report *RunReport
 }
 
 // Analyze runs 4D Haralick texture analysis over an in-memory volume: the
@@ -158,27 +190,63 @@ type Result struct {
 // Parallelism > 1 the work is chunked and spread over a local filter
 // pipeline; outputs are identical to the sequential path.
 func Analyze(v *Volume, opts *Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), v, opts)
+}
+
+// AnalyzeContext is Analyze under a context: cancelling ctx makes the
+// pipeline engines stop promptly and return ctx's error. The sequential
+// path (Parallelism 1) checks the context only between setup steps — a
+// running kernel scan is not interrupted.
+func AnalyzeContext(ctx context.Context, v *Volume, opts *Options) (*Result, error) {
 	cfg, err := opts.coreConfig()
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	grid := volume.Requantize(v, cfg.GrayLevels)
-	return analyzeGrid(grid, cfg, opts.workers())
+	return analyzeGrid(ctx, grid, cfg, opts)
 }
 
-func analyzeGrid(grid *volume.Grid, cfg core.Config, workers int) (*Result, error) {
+// sequentialReport wraps the reference path's timing in the report schema:
+// one SEQ pseudo-filter whose single copy was busy for the whole scan.
+func sequentialReport(elapsed time.Duration) *RunReport {
+	rep := &metrics.RunReport{
+		Engine:    "direct",
+		ElapsedNS: int64(elapsed),
+		Filters: []metrics.FilterReport{{
+			Name: "SEQ",
+			Copies: []metrics.CopyReport{{
+				BusyNS: int64(elapsed),
+				Spans: map[string]metrics.SpanStat{
+					metrics.SpanCompute: {Count: 1, TotalNS: int64(elapsed), MaxNS: int64(elapsed)},
+				},
+			}},
+		}},
+	}
+	rep.Finalize()
+	return rep
+}
+
+func analyzeGrid(ctx context.Context, grid *volume.Grid, cfg core.Config, opts *Options) (*Result, error) {
 	outDims, err := volume.OutputDims(grid.Dims, cfg.ROI)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims}
-	if workers <= 1 {
+	metricsOn := opts == nil || !opts.DisableMetrics
+	if opts.workers() <= 1 {
+		start := time.Now()
 		grids, err := core.AnalyzeGrid(grid, &cfg, nil)
 		if err != nil {
 			return nil, err
 		}
 		for i, f := range cfg.Features {
 			res.Grids[f] = grids[i]
+		}
+		if metricsOn {
+			res.Report = sequentialReport(time.Since(start))
 		}
 		return res, nil
 	}
@@ -188,12 +256,13 @@ func analyzeGrid(grid *volume.Grid, cfg core.Config, workers int) (*Result, erro
 		Policy:   filter.DemandDriven,
 		Output:   pipeline.OutputCollect,
 	}
-	layout := &pipeline.Layout{HMPNodes: make([]int, workers)}
+	layout := &pipeline.Layout{HMPNodes: make([]int, opts.workers())}
 	g, sink, _, err := pipeline.BuildMem(grid, pcfg, layout)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := pipeline.Run(g, pipeline.EngineLocal, nil); err != nil {
+	rs, err := pipeline.RunContext(ctx, g, pipeline.EngineLocal, &pipeline.RunOptions{DisableMetrics: !metricsOn})
+	if err != nil {
 		return nil, err
 	}
 	if err := sink.Complete(cfg.Features); err != nil {
@@ -202,6 +271,7 @@ func analyzeGrid(grid *volume.Grid, cfg core.Config, workers int) (*Result, erro
 	for _, f := range cfg.Features {
 		res.Grids[f] = sink.Grid(f)
 	}
+	res.Report = rs.Report
 	return res, nil
 }
 
@@ -219,6 +289,12 @@ func WriteDataset(dir string, v *Volume, storageNodes int) error {
 // node) feed an InputImageConstructor, which distributes overlapping 4D
 // chunks to parallel texture filters; results are assembled in memory.
 func AnalyzeDataset(dir string, opts *Options) (*Result, error) {
+	return AnalyzeDatasetContext(context.Background(), dir, opts)
+}
+
+// AnalyzeDatasetContext is AnalyzeDataset under a context: cancelling ctx
+// makes the pipeline engines stop promptly and return ctx's error.
+func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Result, error) {
 	cfg, err := opts.coreConfig()
 	if err != nil {
 		return nil, err
@@ -238,13 +314,15 @@ func AnalyzeDataset(dir string, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := pipeline.Run(g, pipeline.EngineLocal, nil); err != nil {
+	rs, err := pipeline.RunContext(ctx, g, pipeline.EngineLocal,
+		&pipeline.RunOptions{DisableMetrics: opts != nil && opts.DisableMetrics})
+	if err != nil {
 		return nil, err
 	}
 	if err := sink.Complete(cfg.Features); err != nil {
 		return nil, err
 	}
-	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims}
+	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims, Report: rs.Report}
 	for _, f := range cfg.Features {
 		res.Grids[f] = sink.Grid(f)
 	}

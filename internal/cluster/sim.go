@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
 	"haralick4d/internal/filter"
+	"haralick4d/internal/metrics"
 )
 
 // Options configures a simulated run.
@@ -22,6 +24,9 @@ type Options struct {
 	// MsgOverheadBytes is the per-message wire overhead added to every
 	// payload (headers, serialization framing). Default 64.
 	MsgOverheadBytes int
+	// DisableMetrics turns off the observability layer: filters see a nil
+	// metric set and RunStats.Report stays nil.
+	DisableMetrics bool
 }
 
 func (o *Options) depth() int {
@@ -51,6 +56,14 @@ func (o *Options) overhead() int {
 // speed, and every cross-node buffer pays latency plus bytes/bandwidth on
 // its link, with transfers on the same link serialized.
 func Run(g *filter.Graph, topo *Topology, opts *Options) (*filter.RunStats, error) {
+	return RunContext(context.Background(), g, topo, opts)
+}
+
+// RunContext is Run under a context. The simulation checks for cancellation
+// between scheduler events: a running compute segment finishes (filter code
+// executes for real and cannot be interrupted), then the run aborts and
+// returns ctx's error with the statistics gathered so far.
+func RunContext(ctx context.Context, g *filter.Graph, topo *Topology, opts *Options) (*filter.RunStats, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -58,16 +71,18 @@ func Run(g *filter.Graph, topo *Topology, opts *Options) (*filter.RunStats, erro
 		return nil, err
 	}
 	e := &engine{
-		graph:    g,
-		topo:     topo,
-		depth:    opts.depth(),
-		scale:    opts.scale(),
-		overhead: opts.overhead(),
-		ops:      make(chan op),
-		byName:   map[string][]*proc{},
-		conns:    map[string]*simConn{},
-		linkBusy: map[int]time.Duration{},
-		cpuBusy:  map[int]time.Duration{},
+		graph:     g,
+		topo:      topo,
+		ctx:       ctx,
+		depth:     opts.depth(),
+		scale:     opts.scale(),
+		overhead:  opts.overhead(),
+		metricsOn: opts == nil || !opts.DisableMetrics,
+		ops:       make(chan op),
+		byName:    map[string][]*proc{},
+		conns:     map[string]*simConn{},
+		linkBusy:  map[int]time.Duration{},
+		cpuBusy:   map[int]time.Duration{},
 	}
 	for _, fs := range g.Filters {
 		procs := make([]*proc, fs.Copies)
@@ -81,6 +96,9 @@ func Run(g *filter.Graph, topo *Topology, opts *Options) (*filter.RunStats, erro
 				eosExpect: map[string]int{},
 			}
 			p.stats.Node = p.node
+			if e.metricsOn {
+				p.met = &metrics.Copy{}
+			}
 			procs[i] = p
 			e.procs = append(e.procs, p)
 		}
@@ -88,7 +106,11 @@ func Run(g *filter.Graph, topo *Topology, opts *Options) (*filter.RunStats, erro
 	}
 	for _, c := range g.Conns {
 		producer, _ := g.Filter(c.From)
-		e.conns[c.From+"."+c.FromPort] = &simConn{spec: c, consumers: e.byName[c.To]}
+		sc := &simConn{spec: c, consumers: e.byName[c.To]}
+		if e.metricsOn {
+			sc.met = &metrics.Stream{}
+		}
+		e.conns[c.From+"."+c.FromPort] = sc
 		for _, consumer := range e.byName[c.To] {
 			consumer.eosExpect[c.ToPort] += producer.Copies
 		}
@@ -109,7 +131,58 @@ func Run(g *filter.Graph, topo *Topology, opts *Options) (*filter.RunStats, erro
 		}
 		stats.Copies[name] = out
 	}
+	if e.metricsOn {
+		stats.Report = e.buildReport()
+	}
 	return stats, e.failErr
+}
+
+// buildReport assembles the structured run report. Engine-measured times
+// (busy, blocked, stalled, stream send waits) are virtual; filter-recorded
+// spans and pool counters are host wall time — see the metrics package docs.
+func (e *engine) buildReport() *metrics.RunReport {
+	rep := &metrics.RunReport{Engine: "sim", ElapsedNS: int64(e.clock)}
+	for _, fs := range e.graph.Filters {
+		fr := metrics.FilterReport{Name: fs.Name}
+		for _, p := range e.byName[fs.Name] {
+			cr := metrics.CopyReport{
+				Copy:          p.copyIdx,
+				Node:          p.node,
+				BusyNS:        int64(p.stats.Compute),
+				BlockedRecvNS: int64(p.stats.BlockRecv),
+				StalledSendNS: int64(p.stats.BlockSend),
+				MsgsIn:        p.stats.MsgsIn,
+				MsgsOut:       p.stats.MsgsOut,
+				BytesIn:       p.stats.BytesIn,
+				BytesOut:      p.stats.BytesOut,
+				Spans:         p.met.Spans(),
+			}
+			if p.met != nil {
+				cr.PoolHits = p.met.PoolHit.Load()
+				cr.PoolMisses = p.met.PoolMiss.Load()
+			}
+			fr.Copies = append(fr.Copies, cr)
+		}
+		rep.Filters = append(rep.Filters, fr)
+	}
+	for _, c := range e.graph.Conns {
+		sc := e.conns[c.From+"."+c.FromPort]
+		if sc == nil || sc.met == nil {
+			continue
+		}
+		sw := sc.met.SendWait.Stat()
+		rep.Streams = append(rep.Streams, metrics.StreamReport{
+			From: c.From, FromPort: c.FromPort, To: c.To, ToPort: c.ToPort,
+			Policy:     c.Policy.String(),
+			Buffers:    sc.met.Buffers.Load(),
+			Bytes:      sc.met.Bytes.Load(),
+			QueueMax:   sc.met.QueueMax.Load(),
+			SendWaits:  sw.Count,
+			SendWaitNS: sw.TotalNS,
+		})
+	}
+	rep.Finalize()
+	return rep
 }
 
 // simMsg is one buffer (or EOS marker) in the virtual system.
@@ -123,6 +196,7 @@ type simMsg struct {
 // sendWait records a producer blocked on a full consumer queue.
 type sendWait struct {
 	from  *proc
+	conn  *simConn
 	msg   simMsg
 	start time.Duration
 }
@@ -136,6 +210,7 @@ type proc struct {
 	resume  chan grant
 	done    bool
 	stats   filter.CopyStats
+	met     *metrics.Copy // nil when metrics are disabled
 
 	// consumer-side state, touched only by the scheduler
 	queue       []simMsg
@@ -177,6 +252,7 @@ type simConn struct {
 	spec      filter.ConnSpec
 	consumers []*proc
 	rr        uint64
+	met       *metrics.Stream // nil when metrics are disabled
 }
 
 type event struct {
@@ -213,11 +289,13 @@ type readyEntry struct {
 // at any instant; the scheduler blocks while it computes, so proc state
 // needs no locking.
 type engine struct {
-	graph    *filter.Graph
-	topo     *Topology
-	depth    int
-	scale    float64
-	overhead int
+	graph     *filter.Graph
+	topo      *Topology
+	ctx       context.Context
+	depth     int
+	scale     float64
+	overhead  int
+	metricsOn bool
 
 	procs  []*proc
 	byName map[string][]*proc
@@ -249,6 +327,10 @@ func (e *engine) runLoop() {
 		e.readyPush(p, grant{ok: true})
 	}
 	for e.nDone < len(e.procs) && e.failErr == nil {
+		if err := e.ctx.Err(); err != nil {
+			e.failErr = err
+			break
+		}
 		if len(e.ready) > 0 {
 			re := e.ready[0]
 			e.ready = e.ready[1:]
@@ -344,10 +426,13 @@ func (e *engine) applyOp(o op, t time.Duration) {
 		}
 		if target.pending < e.depth {
 			e.accept(o.p, target, o.msg, t)
+			if !o.msg.eos {
+				o.conn.met.ObserveSend(int64(o.msg.bytes), 0, int64(target.pending))
+			}
 			e.readyPush(o.p, grant{ok: true})
 			return
 		}
-		target.sendWaiters = append(target.sendWaiters, sendWait{from: o.p, msg: o.msg, start: t})
+		target.sendWaiters = append(target.sendWaiters, sendWait{from: o.p, conn: o.conn, msg: o.msg, start: t})
 	}
 }
 
@@ -447,6 +532,11 @@ func (e *engine) processWaiters(to *proc, t time.Duration) {
 		to.sendWaiters = to.sendWaiters[1:]
 		w.from.stats.BlockSend += t - w.start
 		e.accept(w.from, to, w.msg, t)
+		if !w.msg.eos {
+			// The credit wait is virtual time, like every engine-measured
+			// duration under simulation.
+			w.conn.met.ObserveSend(int64(w.msg.bytes), t-w.start, int64(to.pending))
+		}
 		e.readyPush(w.from, grant{ok: true})
 	}
 }
@@ -519,10 +609,11 @@ type simCtx struct {
 	started bool
 }
 
-func (c *simCtx) FilterName() string { return c.p.name }
-func (c *simCtx) CopyIndex() int     { return c.p.copyIdx }
-func (c *simCtx) NumCopies() int     { return len(c.e.byName[c.p.name]) }
-func (c *simCtx) Node() int          { return c.p.node }
+func (c *simCtx) FilterName() string     { return c.p.name }
+func (c *simCtx) CopyIndex() int         { return c.p.copyIdx }
+func (c *simCtx) NumCopies() int         { return len(c.e.byName[c.p.name]) }
+func (c *simCtx) Node() int              { return c.p.node }
+func (c *simCtx) Metrics() *metrics.Copy { return c.p.met }
 
 func (c *simCtx) ConsumerCopies(port string) int {
 	cs, ok := c.e.conns[c.p.name+"."+port]

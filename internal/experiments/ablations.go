@@ -12,6 +12,7 @@ import (
 	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/glcm"
+	"haralick4d/internal/metrics"
 	"haralick4d/internal/pipeline"
 	"haralick4d/internal/volume"
 )
@@ -329,9 +330,10 @@ func chunkEdges(sc Scale) []int {
 // `Workers` knob of core.Config): ROI raster rows are striped across the
 // workers, and each worker's per-row scan reuses the overlapping-window
 // work with sliding GLCM updates (workers > 1 only; workers = 1 is the
-// sequential full-recompute reference). Host time is measured directly —
-// this is the one figure probing the in-process kernel rather than the
-// simulated cluster.
+// sequential full-recompute reference). The measurement runs the real
+// local-engine pipeline over a one-chunk in-memory sample and reads the
+// HMP compute span from the run report — this is the one figure probing
+// the in-process kernel rather than the simulated cluster.
 func Kernel(e *Env) (*Figure, error) {
 	grid, err := e.sampleGrid()
 	if err != nil {
@@ -354,12 +356,16 @@ func Kernel(e *Env) (*Figure, error) {
 	for shape[1] > 1 && shape[0]*shape[1]*shape[2]*shape[3] > 1600 {
 		shape[1]--
 	}
-	var origin [4]int
+	// Cut the voxel extent those origins cover out of the phantom; its
+	// output grid is exactly the sampled origins, and a chunk shaped like
+	// the whole sample keeps the sliding reuse unbroken.
+	var origin, voxShape [4]int
 	for k := 0; k < 4; k++ {
 		origin[k] = (outDims[k] - shape[k]) / 2
+		voxShape[k] = shape[k] + e.Scale.ROI[k] - 1
 	}
-	origins := volume.BoxAt(origin, shape)
-	region := &volume.Region{Box: volume.BoxAt([4]int{}, grid.Dims), Data: grid.Data}
+	sample := volume.ExtractRegion(grid, volume.BoxAt(origin, voxShape)).Grid(e.Scale.GrayLevels)
+	rois := shape[0] * shape[1] * shape[2] * shape[3]
 	fig := &Figure{
 		ID:     "kernel",
 		Title:  "intra-chunk kernel workers with sliding-window GLCM reuse",
@@ -373,58 +379,70 @@ func Kernel(e *Env) (*Figure, error) {
 	s := Series{Label: "sparse matrix + paper parameters"}
 	var base float64
 	for _, w := range []int{1, 2, 4, 8} {
-		cfg := e.analysis(core.SparseMatrix)
-		cfg.Workers = w
-		if err := cfg.Validate(); err != nil {
-			return nil, err
-		}
-		var best float64
-		var st core.Stats
+		analysis := e.analysis(core.SparseMatrix)
+		analysis.Workers = w
+		var best metrics.SpanStat
+		var report *metrics.RunReport
 		for r := 0; r < repeats; r++ {
-			var run core.Stats
-			start := time.Now()
-			if _, err := core.AnalyzeRegion(region, origins, &cfg, &run); err != nil {
+			cfg := &pipeline.Config{
+				Analysis:   analysis,
+				ChunkShape: sample.Dims,
+				Impl:       pipeline.HMPImpl,
+				Policy:     filter.DemandDriven,
+				Output:     pipeline.OutputCollect,
+			}
+			layout := &pipeline.Layout{SourceNodes: []int{0}, OutputNodes: []int{0}, HMPNodes: []int{0}}
+			g, _, _, err := pipeline.BuildMem(sample, cfg, layout)
+			if err != nil {
 				return nil, fmt.Errorf("kernel workers=%d: %w", w, err)
 			}
-			el := time.Since(start).Seconds()
-			if r == 0 || el < best {
-				best, st = el, run
+			rs, err := pipeline.Run(g, pipeline.EngineLocal, nil)
+			if err != nil {
+				return nil, fmt.Errorf("kernel workers=%d: %w", w, err)
+			}
+			comp := rs.Report.Span("HMP", metrics.SpanCompute)
+			if comp.Count == 0 {
+				return nil, fmt.Errorf("kernel workers=%d: run report carries no HMP compute span", w)
+			}
+			if r == 0 || comp.TotalNS < best.TotalNS {
+				best, report = comp, rs.Report
 			}
 		}
+		e.LastReport = report
+		sec := float64(best.TotalNS) / 1e9
 		s.X = append(s.X, float64(w))
-		s.Y = append(s.Y, best*1000/float64(st.ROIs)*100)
-		pairsPerSec := float64(st.Pairs) / best
+		s.Y = append(s.Y, sec*1000/float64(rois)*100)
+		pairs := float64(rois) * float64(glcm.PairCount(e.Scale.ROI, analysis.DirectionSet()))
 		if w == 1 {
-			base = best
+			base = sec
 		}
 		fig.Notes = append(fig.Notes, fmt.Sprintf(
 			"workers=%d: %.2f Mpairs/s over %d ROIs (%.2fx vs workers=1)",
-			w, pairsPerSec/1e6, st.ROIs, base/best))
+			w, pairs/sec/1e6, rois, base/sec))
 	}
 	fig.Series = []Series{s}
 	fig.Notes = append(fig.Notes,
+		"timings are the HMP compute span of the run report (local engine, one chunk, one texture copy)",
 		"workers=1 is the sequential reference kernel (full recompute per ROI); workers>1 add sliding-window reuse, so single-CPU hosts still gain",
 		"outputs are bit-identical at every worker count (property-tested in internal/core)")
 	return fig, nil
 }
 
+// AllIDs lists every figure id in presentation order.
+func AllIDs() []string {
+	return []string{
+		"7a", "7b", "8", "9", "10", "11",
+		"density", "zeroskip", "iic", "dirs", "chunk", "decluster", "kernel",
+	}
+}
+
 // All runs every experiment and returns the figures in presentation order.
 func All(e *Env) ([]*Figure, error) {
-	type exp struct {
-		name string
-		run  func(*Env) (*Figure, error)
-	}
 	var figs []*Figure
-	for _, x := range []exp{
-		{"7a", Fig7a}, {"7b", Fig7b}, {"8", Fig8}, {"9", Fig9},
-		{"10", Fig10}, {"11", Fig11},
-		{"density", Density}, {"zeroskip", ZeroSkip}, {"iic", IICScaling},
-		{"dirs", Directions}, {"chunk", ChunkShape}, {"decluster", Declustering},
-		{"kernel", Kernel},
-	} {
-		f, err := x.run(e)
+	for _, id := range AllIDs() {
+		f, err := ByID(e, id)
 		if err != nil {
-			return figs, fmt.Errorf("experiment %s: %w", x.name, err)
+			return figs, fmt.Errorf("experiment %s: %w", id, err)
 		}
 		figs = append(figs, f)
 	}

@@ -18,6 +18,7 @@ import (
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
 	"haralick4d/internal/glcm"
+	"haralick4d/internal/metrics"
 	"haralick4d/internal/synthetic"
 )
 
@@ -117,6 +118,10 @@ type Env struct {
 	// figure's shape exactly as the paper's single-threaded filters produce
 	// it. The `kernel` figure sweeps this knob explicitly.
 	KernelWorkers int
+	// LastReport is the observability report of the most recent engine run
+	// an experiment performed (the best repetition of the last simulated
+	// configuration). cmd/experiments surfaces it behind -metrics.
+	LastReport *metrics.RunReport
 }
 
 // Setup generates the phantom study for the scale and writes it, declustered

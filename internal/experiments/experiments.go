@@ -97,6 +97,7 @@ func (e *Env) simulate(mk func() (*pipeline.Config, *pipeline.Layout, error), to
 			best = stats
 		}
 	}
+	e.LastReport = best.Report
 	return best, nil
 }
 

@@ -18,6 +18,8 @@ package filter
 import (
 	"fmt"
 	"sort"
+
+	"haralick4d/internal/metrics"
 )
 
 // Payload is the body of a data buffer exchanged on a stream. SizeBytes
@@ -71,6 +73,11 @@ type Context interface {
 	Send(port string, p Payload) error
 	// SendTo emits a buffer to a specific consumer copy (explicit routing).
 	SendTo(port string, copy int, p Payload) error
+	// Metrics returns this copy's metric set for span and pool-counter
+	// recording, or nil when the run has metrics disabled. All methods of
+	// the returned set are nil-receiver safe, so filters may use it
+	// unconditionally.
+	Metrics() *metrics.Copy
 }
 
 // Policy selects how a connection distributes buffers among the consumer's

@@ -1,11 +1,14 @@
 package filter
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"haralick4d/internal/metrics"
 )
 
 // Options configures an in-process engine run.
@@ -13,6 +16,11 @@ type Options struct {
 	// QueueDepth bounds each filter copy's input queue (stream
 	// backpressure). Default 32 buffers.
 	QueueDepth int
+	// DisableMetrics turns off the observability layer: filters see a nil
+	// metric set, stream counters are not kept, and RunStats.Report stays
+	// nil. The default (metrics on) costs a few atomic operations per
+	// buffer.
+	DisableMetrics bool
 }
 
 func (o *Options) depth() int {
@@ -27,11 +35,19 @@ func (o *Options) depth() int {
 // configuration DataCutter uses for co-located filters. Placement is
 // recorded in the stats but has no performance meaning locally.
 func RunLocal(g *Graph, opts *Options) (*RunStats, error) {
+	return RunLocalContext(context.Background(), g, opts)
+}
+
+// RunLocalContext is RunLocal under a context: when ctx is cancelled every
+// blocked Recv/Send returns immediately, all copies wind down, and the run
+// returns ctx's error alongside the statistics gathered so far.
+func RunLocalContext(ctx context.Context, g *Graph, opts *Options) (*RunStats, error) {
 	rt, err := newRuntime(g, opts, nil)
 	if err != nil {
 		return nil, err
 	}
-	return rt.run()
+	rt.engine = "local"
+	return rt.run(ctx)
 }
 
 // inMsg is one queue element: a buffer or an end-of-stream marker.
@@ -50,6 +66,7 @@ type copyState struct {
 	pending   atomic.Int64 // buffers queued + in flight
 	eosExpect map[string]int
 	stats     CopyStats
+	met       *metrics.Copy // nil when metrics are disabled
 
 	// Consumption-rate observations for demand-driven scheduling, updated
 	// by the consumer goroutine and read by producers.
@@ -62,6 +79,7 @@ type connState struct {
 	spec      ConnSpec
 	consumers []*copyState
 	rr        atomic.Uint64
+	met       *metrics.Stream // nil when metrics are disabled
 }
 
 // transport delivers a message to a consumer copy that is placed on a
@@ -78,10 +96,12 @@ type transport interface {
 // runtime is the shared in-process engine used by both the local and TCP
 // modes.
 type runtime struct {
-	graph  *Graph
-	copies map[string][]*copyState
-	conns  map[string]*connState // key: from + "." + fromPort
-	trans  transport
+	graph     *Graph
+	copies    map[string][]*copyState
+	conns     map[string]*connState // key: from + "." + fromPort
+	trans     transport
+	engine    string // "local" or "tcp", recorded in the report
+	metricsOn bool
 
 	done     chan struct{}
 	stopOnce sync.Once
@@ -94,11 +114,12 @@ func newRuntime(g *Graph, opts *Options, trans transport) (*runtime, error) {
 		return nil, err
 	}
 	rt := &runtime{
-		graph:  g,
-		copies: make(map[string][]*copyState),
-		conns:  make(map[string]*connState),
-		trans:  trans,
-		done:   make(chan struct{}),
+		graph:     g,
+		copies:    make(map[string][]*copyState),
+		conns:     make(map[string]*connState),
+		trans:     trans,
+		metricsOn: opts == nil || !opts.DisableMetrics,
+		done:      make(chan struct{}),
 	}
 	depth := opts.depth()
 	for _, fs := range g.Filters {
@@ -112,12 +133,18 @@ func newRuntime(g *Graph, opts *Options, trans transport) (*runtime, error) {
 				eosExpect: map[string]int{},
 			}
 			states[i].stats.Node = fs.Nodes[i]
+			if rt.metricsOn {
+				states[i].met = &metrics.Copy{}
+			}
 		}
 		rt.copies[fs.Name] = states
 	}
 	for _, c := range g.Conns {
 		producer, _ := g.Filter(c.From)
 		cs := &connState{spec: c, consumers: rt.copies[c.To]}
+		if rt.metricsOn {
+			cs.met = &metrics.Stream{}
+		}
 		rt.conns[c.From+"."+c.FromPort] = cs
 		for _, consumer := range rt.copies[c.To] {
 			consumer.eosExpect[c.ToPort] += producer.Copies
@@ -137,8 +164,22 @@ func (rt *runtime) fail(err error) {
 
 var errStopped = errors.New("filter: run aborted")
 
-// run executes every filter copy and waits for completion.
-func (rt *runtime) run() (*RunStats, error) {
+// run executes every filter copy and waits for completion. Cancelling ctx
+// aborts the run: every blocked Recv/Send observes the closed done channel
+// and returns, and the run's error is ctx.Err().
+func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
+	if ctx.Done() != nil {
+		watchStop := make(chan struct{})
+		defer close(watchStop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				rt.fail(ctx.Err())
+			case <-watchStop:
+			case <-rt.done:
+			}
+		}()
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, fs := range rt.graph.Filters {
@@ -196,10 +237,69 @@ func (rt *runtime) run() (*RunStats, error) {
 		}
 		stats.Copies[name] = out
 	}
+	if rt.metricsOn {
+		stats.Report = rt.buildReport(stats.Elapsed)
+	}
 	if rt.firstErr != nil {
 		return stats, rt.firstErr
 	}
 	return stats, nil
+}
+
+// netReporter is implemented by transports that track per-connection network
+// activity (the TCP transport).
+type netReporter interface {
+	netReport() []metrics.ConnReport
+}
+
+// buildReport assembles the structured run report from the engine-measured
+// copy stats, the filter-recorded span timers, and the per-stream counters.
+func (rt *runtime) buildReport(elapsed time.Duration) *metrics.RunReport {
+	rep := &metrics.RunReport{Engine: rt.engine, ElapsedNS: int64(elapsed)}
+	for _, fs := range rt.graph.Filters {
+		fr := metrics.FilterReport{Name: fs.Name}
+		for _, st := range rt.copies[fs.Name] {
+			cr := metrics.CopyReport{
+				Copy:          st.copyIdx,
+				Node:          st.node,
+				BusyNS:        int64(st.stats.Compute),
+				BlockedRecvNS: int64(st.stats.BlockRecv),
+				StalledSendNS: int64(st.stats.BlockSend),
+				MsgsIn:        st.stats.MsgsIn,
+				MsgsOut:       st.stats.MsgsOut,
+				BytesIn:       st.stats.BytesIn,
+				BytesOut:      st.stats.BytesOut,
+				Spans:         st.met.Spans(),
+			}
+			if st.met != nil {
+				cr.PoolHits = st.met.PoolHit.Load()
+				cr.PoolMisses = st.met.PoolMiss.Load()
+			}
+			fr.Copies = append(fr.Copies, cr)
+		}
+		rep.Filters = append(rep.Filters, fr)
+	}
+	for _, c := range rt.graph.Conns {
+		cs := rt.conns[c.From+"."+c.FromPort]
+		if cs == nil || cs.met == nil {
+			continue
+		}
+		sw := cs.met.SendWait.Stat()
+		rep.Streams = append(rep.Streams, metrics.StreamReport{
+			From: c.From, FromPort: c.FromPort, To: c.To, ToPort: c.ToPort,
+			Policy:     c.Policy.String(),
+			Buffers:    cs.met.Buffers.Load(),
+			Bytes:      cs.met.Bytes.Load(),
+			QueueMax:   cs.met.QueueMax.Load(),
+			SendWaits:  sw.Count,
+			SendWaitNS: sw.TotalNS,
+		})
+	}
+	if nr, ok := rt.trans.(netReporter); ok {
+		rep.Network = nr.netReport()
+	}
+	rep.Finalize()
+	return rep
 }
 
 // drain consumes and discards leftover inbox traffic after a copy's Run has
@@ -231,6 +331,14 @@ func (rt *runtime) drain(st *copyState, ctx *localCtx) {
 // co-located (pointer hand-off) or through the transport when the producer
 // and consumer are on different nodes.
 func (rt *runtime) deliver(from, to *copyState, m inMsg) error {
+	// After an abort, fail sends immediately: a transport delivery into a
+	// draining remote endpoint would otherwise keep succeeding and a
+	// producer with more work than queue space would never observe the stop.
+	select {
+	case <-rt.done:
+		return errStopped
+	default:
+	}
 	if !m.eos {
 		to.pending.Add(1)
 	}
@@ -274,10 +382,11 @@ type localCtx struct {
 	openIn   int // ports still expecting data; -1 = uninitialized
 }
 
-func (c *localCtx) FilterName() string { return c.st.filter }
-func (c *localCtx) CopyIndex() int     { return c.st.copyIdx }
-func (c *localCtx) NumCopies() int     { return len(c.rt.copies[c.st.filter]) }
-func (c *localCtx) Node() int          { return c.st.node }
+func (c *localCtx) FilterName() string     { return c.st.filter }
+func (c *localCtx) CopyIndex() int         { return c.st.copyIdx }
+func (c *localCtx) NumCopies() int         { return len(c.rt.copies[c.st.filter]) }
+func (c *localCtx) Node() int              { return c.st.node }
+func (c *localCtx) Metrics() *metrics.Copy { return c.st.met }
 
 func (c *localCtx) ConsumerCopies(port string) int {
 	cs, ok := c.rt.conns[c.st.filter+"."+port]
@@ -413,5 +522,9 @@ func (c *localCtx) send(cs *connState, target *copyState, port string, p Payload
 	}
 	c.st.stats.MsgsOut++
 	c.st.stats.BytesOut += size
+	// The deliver block time is the producer's wait for queue credit on this
+	// stream; the pending load right after delivery approximates the depth
+	// the consumer's queue reached.
+	cs.met.ObserveSend(size, now.Sub(blockStart), target.pending.Load())
 	return nil
 }

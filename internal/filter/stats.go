@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"haralick4d/internal/metrics"
 )
 
 // CopyStats aggregates one filter copy's activity during a run. Compute is
@@ -28,6 +30,12 @@ type CopyStats struct {
 type RunStats struct {
 	Elapsed time.Duration
 	Copies  map[string][]CopyStats
+
+	// Report is the structured observability report for the run: per-filter
+	// span decompositions, per-stream traffic, network activity under the
+	// TCP engine, and the critical-path summary. It is nil when the run was
+	// started with metrics disabled.
+	Report *metrics.RunReport
 }
 
 // FilterCompute returns the total compute time across all copies of the

@@ -1,12 +1,17 @@
 package filter
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"time"
+
+	"haralick4d/internal/metrics"
 )
 
 // RunTCP executes the graph with one loopback TCP endpoint per node:
@@ -20,6 +25,14 @@ import (
 // kernel socket behaviour while remaining a single testable binary. Payload
 // types crossing nodes must be registered with encoding/gob.
 func RunTCP(g *Graph, opts *Options) (*RunStats, error) {
+	return RunTCPContext(context.Background(), g, opts)
+}
+
+// RunTCPContext is RunTCP under a context: on cancellation every copy winds
+// down, receive loops drain their sockets so no sender stays blocked inside
+// a partial write, and the run returns ctx's error with the statistics
+// gathered so far.
+func RunTCPContext(ctx context.Context, g *Graph, opts *Options) (*RunStats, error) {
 	rt, err := newRuntime(g, opts, nil)
 	if err != nil {
 		return nil, err
@@ -29,13 +42,16 @@ func RunTCP(g *Graph, opts *Options) (*RunStats, error) {
 		return nil, err
 	}
 	rt.trans = tr
-	stats, err := rt.run()
+	rt.engine = "tcp"
+	stats, err := rt.run(ctx)
 	tr.wait()
 	return stats, err
 }
 
-// envelope is the wire format of one buffer crossing nodes.
+// envelope is the wire format of one buffer crossing nodes. FromNode lets
+// the receiver attribute wire traffic to the ordered node pair.
 type envelope struct {
+	FromNode int
 	ToFilter string
 	ToCopy   int
 	Port     string
@@ -44,6 +60,32 @@ type envelope struct {
 }
 
 func init() { gob.Register(envelope{}) }
+
+// countingWriter counts bytes written through it. It is used under the
+// owning tcpConn's mutex, so a plain int64 suffices.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// countingReader counts bytes read through it. Each instance is owned by a
+// single receive-loop goroutine.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
 
 // tcpTransport maintains one TCP connection per ordered node pair that the
 // graph actually uses, created lazily on first send.
@@ -55,6 +97,12 @@ type tcpTransport struct {
 	mu    sync.Mutex
 	conns map[[2]int]*tcpConn
 
+	// Per ordered node pair network metrics, shared between the sending side
+	// (Out fields, Send timer) and the receiving loop (In fields, Recv
+	// timer). Nil values never enter the map.
+	metMu sync.Mutex
+	mets  map[[2]int]*metrics.Conn
+
 	recvWG   sync.WaitGroup
 	closed   bool
 	closeErr error
@@ -63,11 +111,13 @@ type tcpTransport struct {
 type tcpConn struct {
 	mu  sync.Mutex
 	c   net.Conn
+	cw  *countingWriter
 	enc *gob.Encoder
+	met *metrics.Conn // nil when metrics are disabled
 }
 
 func newTCPTransport(rt *runtime, nodes int) (*tcpTransport, error) {
-	tr := &tcpTransport{rt: rt, conns: map[[2]int]*tcpConn{}}
+	tr := &tcpTransport{rt: rt, conns: map[[2]int]*tcpConn{}, mets: map[[2]int]*metrics.Conn{}}
 	for i := 0; i < nodes; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -77,12 +127,61 @@ func newTCPTransport(rt *runtime, nodes int) (*tcpTransport, error) {
 		tr.listeners = append(tr.listeners, ln)
 		tr.addrs = append(tr.addrs, ln.Addr().String())
 		tr.recvWG.Add(1)
-		go tr.acceptLoop(ln)
+		go tr.acceptLoop(ln, i)
 	}
 	return tr, nil
 }
 
-func (tr *tcpTransport) acceptLoop(ln net.Listener) {
+// connMetric returns the shared metric set for the ordered node pair, or nil
+// when metrics are disabled.
+func (tr *tcpTransport) connMetric(from, to int) *metrics.Conn {
+	if !tr.rt.metricsOn {
+		return nil
+	}
+	key := [2]int{from, to}
+	tr.metMu.Lock()
+	defer tr.metMu.Unlock()
+	m, ok := tr.mets[key]
+	if !ok {
+		m = &metrics.Conn{}
+		tr.mets[key] = m
+	}
+	return m
+}
+
+// netReport snapshots per-connection activity for the run report, ordered by
+// (from, to) node pair.
+func (tr *tcpTransport) netReport() []metrics.ConnReport {
+	tr.metMu.Lock()
+	defer tr.metMu.Unlock()
+	keys := make([][2]int, 0, len(tr.mets))
+	for k := range tr.mets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]metrics.ConnReport, 0, len(keys))
+	for _, k := range keys {
+		m := tr.mets[k]
+		out = append(out, metrics.ConnReport{
+			FromNode:     k[0],
+			ToNode:       k[1],
+			MsgsOut:      m.MsgsOut.Load(),
+			WireBytesOut: m.WireBytesOut.Load(),
+			SendNS:       m.Send.Stat().TotalNS,
+			MsgsIn:       m.MsgsIn.Load(),
+			WireBytesIn:  m.WireBytesIn.Load(),
+			RecvNS:       m.Recv.Stat().TotalNS,
+		})
+	}
+	return out
+}
+
+func (tr *tcpTransport) acceptLoop(ln net.Listener, node int) {
 	defer tr.recvWG.Done()
 	for {
 		conn, err := ln.Accept()
@@ -90,29 +189,54 @@ func (tr *tcpTransport) acceptLoop(ln net.Listener) {
 			return // listener closed
 		}
 		tr.recvWG.Add(1)
-		go tr.recvLoop(conn)
+		go tr.recvLoop(conn, node)
 	}
 }
 
-func (tr *tcpTransport) recvLoop(conn net.Conn) {
+// recvLoop decodes envelopes arriving at one node's endpoint and enqueues
+// them at the destination copy. The Recv timer includes socket wait, so on a
+// mostly idle connection it approaches the connection's lifetime; WireBytesIn
+// is exact. After the run aborts the loop keeps decoding and discarding
+// envelopes instead of returning: a remote sender blocked inside a partial
+// gob encode (which cannot observe the abort) would otherwise never finish
+// its write, and the engine's shutdown would deadlock.
+func (tr *tcpTransport) recvLoop(conn net.Conn, node int) {
 	defer tr.recvWG.Done()
-	dec := gob.NewDecoder(conn)
+	cr := &countingReader{r: conn}
+	dec := gob.NewDecoder(cr)
+	var met *metrics.Conn
+	var lastBytes int64
+	dropping := false
 	for {
 		var env envelope
+		start := time.Now()
 		if err := dec.Decode(&env); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !tr.isClosed() {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !tr.isClosed() && !dropping {
 				tr.rt.fail(fmt.Errorf("filter: tcp decode: %w", err))
 			}
 			return
 		}
+		if met == nil {
+			met = tr.connMetric(env.FromNode, node)
+		}
+		if met != nil {
+			met.Recv.Add(time.Since(start))
+			met.MsgsIn.Inc()
+			met.WireBytesIn.Add(cr.n - lastBytes)
+			lastBytes = cr.n
+		}
+		if dropping {
+			continue
+		}
 		copies, ok := tr.rt.copies[env.ToFilter]
 		if !ok || env.ToCopy < 0 || env.ToCopy >= len(copies) {
 			tr.rt.fail(fmt.Errorf("filter: tcp envelope for unknown copy %s[%d]", env.ToFilter, env.ToCopy))
-			return
+			dropping = true
+			continue
 		}
 		m := inMsg{port: env.Port, payload: env.Payload, eos: env.EOS}
 		if err := tr.rt.enqueueLocal(copies[env.ToCopy], m); err != nil {
-			return // run aborted
+			dropping = true // run aborted; drain until the connection closes
 		}
 	}
 }
@@ -139,7 +263,8 @@ func (tr *tcpTransport) connTo(from, to int) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("filter: tcp dial node %d: %w", to, err)
 	}
-	c := &tcpConn{c: conn, enc: gob.NewEncoder(conn)}
+	cw := &countingWriter{w: conn}
+	c := &tcpConn{c: conn, cw: cw, enc: gob.NewEncoder(cw), met: tr.connMetric(from, to)}
 	tr.conns[key] = c
 	return c, nil
 }
@@ -149,11 +274,21 @@ func (tr *tcpTransport) deliver(from, to *copyState, m inMsg) error {
 	if err != nil {
 		return err
 	}
-	env := envelope{ToFilter: to.filter, ToCopy: to.copyIdx, Port: m.port, EOS: m.eos, Payload: m.payload}
+	env := envelope{FromNode: from.node, ToFilter: to.filter, ToCopy: to.copyIdx, Port: m.port, EOS: m.eos, Payload: m.payload}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var start time.Time
+	before := c.cw.n
+	if c.met != nil {
+		start = time.Now()
+	}
 	if err := c.enc.Encode(env); err != nil {
 		return fmt.Errorf("filter: tcp encode to %s[%d]: %w", to.filter, to.copyIdx, err)
+	}
+	if c.met != nil {
+		c.met.Send.Add(time.Since(start))
+		c.met.MsgsOut.Inc()
+		c.met.WireBytesOut.Add(c.cw.n - before)
 	}
 	return nil
 }

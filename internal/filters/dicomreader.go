@@ -36,9 +36,11 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 			if err != nil {
 				return err
 			}
+			met := ctx.Metrics()
 			chunks := cfg.Chunker.Chunks()
 			X, Y := st.Dims[0], st.Dims[1]
 			for _, sf := range slices {
+				sp := met.StartRead()
 				pix, err := st.ReadSlice(sf)
 				if err != nil {
 					return err
@@ -50,6 +52,7 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 				for i, v := range pix {
 					window.Data[i] = volume.QuantizeValue(v, cfg.GrayLevels, st.Min, st.Max)
 				}
+				sp.End()
 				for _, ch := range chunks {
 					inter, ok := ch.Voxels.Intersect(window.Box)
 					if !ok {
@@ -58,7 +61,10 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 					piece := volume.NewRegion(inter)
 					piece.CopyFrom(window)
 					msg := &PieceMsg{Chunk: ch.Index, Region: piece}
-					if err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg); err != nil {
+					emit := met.StartEmit()
+					err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg)
+					emit.End()
+					if err != nil {
 						return err
 					}
 				}

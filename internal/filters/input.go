@@ -53,12 +53,14 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 			if ioy <= 0 || ioy > Y {
 				ioy = Y
 			}
+			met := ctx.Metrics()
 			chunks := cfg.Chunker.Chunks()
 			for _, ref := range refs {
 				for y0 := 0; y0 < Y; y0 += ioy {
 					y1 := min(y0+ioy, Y)
 					for x0 := 0; x0 < X; x0 += iox {
 						x1 := min(x0+iox, X)
+						sp := met.StartRead()
 						raw, err := st.ReadSliceRegion(ctx.CopyIndex(), ref, x0, x1, y0, y1)
 						if err != nil {
 							return err
@@ -70,6 +72,7 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 						for i, v := range raw {
 							window.Data[i] = volume.QuantizeValue(v, cfg.GrayLevels, meta.Min, meta.Max)
 						}
+						sp.End()
 						for _, ch := range chunks {
 							inter, ok := ch.Voxels.Intersect(window.Box)
 							if !ok {
@@ -78,7 +81,10 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 							piece := volume.NewRegion(inter)
 							piece.CopyFrom(window)
 							msg := &PieceMsg{Chunk: ch.Index, Region: piece}
-							if err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg); err != nil {
+							emit := met.StartEmit()
+							err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg)
+							emit.End()
+							if err != nil {
 								return err
 							}
 						}
@@ -124,6 +130,8 @@ func NewIIC(cfg IICConfig) func(int) filter.Filter {
 				if done[piece.Chunk] {
 					return fmt.Errorf("filters: chunk %d received data after completion", piece.Chunk)
 				}
+				met := ctx.Metrics()
+				sp := met.StartAssemble()
 				ch := cfg.Chunker.Chunk(piece.Chunk)
 				a := pending[piece.Chunk]
 				if a == nil {
@@ -131,12 +139,16 @@ func NewIIC(cfg IICConfig) func(int) filter.Filter {
 					pending[piece.Chunk] = a
 				}
 				a.remaining -= a.region.CopyFrom(piece.Region)
+				sp.End()
 				if a.remaining < 0 {
 					return fmt.Errorf("filters: chunk %d received overlapping pieces", piece.Chunk)
 				}
 				if a.remaining == 0 {
 					out := &ChunkMsg{Chunk: piece.Chunk, Origins: ch.Origins, Region: a.region}
-					if err := ctx.Send(PortOut, out); err != nil {
+					emit := met.StartEmit()
+					err := ctx.Send(PortOut, out)
+					emit.End()
+					if err != nil {
 						return err
 					}
 					delete(pending, piece.Chunk)
@@ -165,12 +177,18 @@ type GridSourceConfig struct {
 func NewGridSource(cfg GridSourceConfig) func(int) filter.Filter {
 	return func(copy int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
+			met := ctx.Metrics()
 			n := cfg.Chunker.Count()
 			for i := ctx.CopyIndex(); i < n; i += ctx.NumCopies() {
 				ch := cfg.Chunker.Chunk(i)
+				sp := met.StartRead()
 				region := volume.ExtractRegion(cfg.Grid, ch.Voxels)
+				sp.End()
 				msg := &ChunkMsg{Chunk: ch.Index, Origins: ch.Origins, Region: region}
-				if err := ctx.Send(PortOut, msg); err != nil {
+				emit := met.StartEmit()
+				err := ctx.Send(PortOut, msg)
+				emit.End()
+				if err != nil {
 					return err
 				}
 			}

@@ -52,6 +52,7 @@ func NewUSO(cfg USOConfig) func(int) filter.Filter {
 				if err := pm.Validate(); err != nil {
 					return err
 				}
+				sp := ctx.Metrics().StartWrite()
 				w := writers[pm.Feature]
 				if w == nil {
 					name := fmt.Sprintf("uso_c%03d_%s.bin", ctx.CopyIndex(), pm.Feature)
@@ -69,6 +70,7 @@ func NewUSO(cfg USOConfig) func(int) filter.Filter {
 				if err := writeUSORecord(w, pm); err != nil {
 					return err
 				}
+				sp.End()
 				pm.Recycle()
 			}
 			for ft, w := range writers {
@@ -197,6 +199,8 @@ func NewHIC(cfg HICConfig) func(int) filter.Filter {
 				if err := pm.Validate(); err != nil {
 					return err
 				}
+				met := ctx.Metrics()
+				sp := met.StartAssemble()
 				a := pending[pm.Feature]
 				if a == nil {
 					a = &assembly{grid: volume.NewFloatGrid(cfg.OutDims), remaining: total}
@@ -205,6 +209,7 @@ func NewHIC(cfg HICConfig) func(int) filter.Filter {
 				fr := &volume.FloatRegion{Box: pm.Box, Data: pm.Values}
 				fr.StoreInto(a.grid)
 				a.remaining -= pm.Box.NumVoxels()
+				sp.End()
 				if a.remaining < 0 {
 					return fmt.Errorf("filters: HIC received overlapping portions for %v", pm.Feature)
 				}
@@ -213,7 +218,10 @@ func NewHIC(cfg HICConfig) func(int) filter.Filter {
 				if a.remaining == 0 {
 					lo, hi := a.grid.MinMax()
 					out := &AssembledMsg{Feature: ft, Grid: a.grid, Min: lo, Max: hi}
-					if err := ctx.Send(PortOut, out); err != nil {
+					emit := met.StartEmit()
+					err := ctx.Send(PortOut, out)
+					emit.End()
+					if err != nil {
 						return err
 					}
 					delete(pending, ft)
@@ -252,6 +260,7 @@ func NewJIW(cfg JIWConfig) func(int) filter.Filter {
 				if !okType {
 					return fmt.Errorf("filters: JIW received %T", m.Payload)
 				}
+				sp := ctx.Metrics().StartWrite()
 				dims := am.Grid.Dims
 				scale := 0.0
 				if am.Max > am.Min {
@@ -272,6 +281,7 @@ func NewJIW(cfg JIWConfig) func(int) filter.Filter {
 						}
 					}
 				}
+				sp.End()
 			}
 		})
 	}
@@ -371,7 +381,10 @@ func NewCollector(res *Results) func(int) filter.Filter {
 				if !okType {
 					return fmt.Errorf("filters: Collector received %T", m.Payload)
 				}
-				if err := res.add(pm); err != nil {
+				sp := ctx.Metrics().StartWrite()
+				err := res.add(pm)
+				sp.End()
+				if err != nil {
 					return err
 				}
 				pm.Recycle() // values copied into the shared results above

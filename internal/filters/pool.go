@@ -5,6 +5,7 @@ import (
 
 	"haralick4d/internal/core"
 	"haralick4d/internal/features"
+	"haralick4d/internal/metrics"
 	"haralick4d/internal/volume"
 )
 
@@ -25,13 +26,16 @@ var (
 )
 
 // getFloats returns a zeroed []float64 of length n, reusing pooled backing
-// when its capacity suffices.
-func getFloats(n int) []float64 {
+// when its capacity suffices. The lease outcome (reuse vs. fresh allocation)
+// is recorded on met, which may be nil.
+func getFloats(n int, met *metrics.Copy) []float64 {
 	if p, ok := floatPool.Get().(*[]float64); ok && cap(*p) >= n {
 		s := (*p)[:n]
 		clear(s)
+		met.Pool(true)
 		return s
 	}
+	met.Pool(false)
 	return make([]float64, n)
 }
 
@@ -61,9 +65,12 @@ func (m *ParamMsg) Recycle() {
 
 // getBatchScratch leases a reusable matrix-batch container for the HCC
 // filter; it rides inside the MatrixBatchMsg and returns to the pool when
-// the consumer recycles the message.
-func getBatchScratch() *core.MatrixBatch {
-	return scratchPool.Get().(*core.MatrixBatch)
+// the consumer recycles the message. A container with grown arenas counts
+// as a pool hit.
+func getBatchScratch(met *metrics.Copy) *core.MatrixBatch {
+	b := scratchPool.Get().(*core.MatrixBatch)
+	met.Pool(len(b.Sparse) > 0 || len(b.Full) > 0)
+	return b
 }
 
 // newMatrixBatchMsg assembles a pooled MatrixBatchMsg publishing whichever

@@ -97,14 +97,19 @@ func NewHMP(cfg TextureConfig) func(int) filter.Filter {
 				if !okType {
 					return fmt.Errorf("filters: HMP received %T", m.Payload)
 				}
+				met := ctx.Metrics()
 				n := chunk.Origins.NumVoxels()
 				for i := range outs {
 					outs[i].Box = chunk.Origins
-					outs[i].Data = getFloats(n)
+					outs[i].Data = getFloats(n, met)
 				}
-				if err := core.AnalyzeRegionInto(chunk.Region, chunk.Origins, &acfg, nil, outs); err != nil {
+				sp := met.StartCompute()
+				err := core.AnalyzeRegionInto(chunk.Region, chunk.Origins, &acfg, nil, outs)
+				sp.End()
+				if err != nil {
 					return err
 				}
+				emit := met.StartEmit()
 				for i, fr := range outs {
 					out := newParamMsg(acfg.Features[i], fr.Box, fr.Data)
 					fr.Data = nil // ownership moves to the message
@@ -112,6 +117,7 @@ func NewHMP(cfg TextureConfig) func(int) filter.Filter {
 						return err
 					}
 				}
+				emit.End()
 			}
 		})
 	}
@@ -143,20 +149,26 @@ func NewHCC(cfg TextureConfig) func(int) filter.Filter {
 				if !okType {
 					return fmt.Errorf("filters: HCC received %T", m.Payload)
 				}
+				met := ctx.Metrics()
 				for _, sub := range SplitBox(chunk.Origins, cfg.packets()) {
-					scratch := getBatchScratch()
+					scratch := getBatchScratch(met)
+					sp := met.StartCompute()
 					var err error
 					if sparse {
 						err = core.SparseBatchInto(chunk.Region, sub, &acfg, nil, scratch)
 					} else {
 						err = core.FullBatchInto(chunk.Region, sub, &acfg, nil, scratch)
 					}
+					sp.End()
 					if err != nil {
 						return err
 					}
 					batch := newMatrixBatchMsg(chunk.Chunk, sub, acfg.GrayLevels,
 						acfg.Representation == core.FullMatrixNoSkip, scratch)
-					if err := ctx.Send(PortOut, batch); err != nil {
+					emit := met.StartEmit()
+					err = ctx.Send(PortOut, batch)
+					emit.End()
+					if err != nil {
 						return err
 					}
 				}
@@ -194,6 +206,7 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 				if !okType {
 					return fmt.Errorf("filters: HPC received %T", m.Payload)
 				}
+				met := ctx.Metrics()
 				n := batch.Origins.NumVoxels()
 				if len(batch.Sparse) != n && len(batch.Full) != n {
 					return fmt.Errorf("filters: packet for %v has %d+%d matrices, want %d",
@@ -201,8 +214,9 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 				}
 				for i := range outs {
 					outs[i].Box = batch.Origins
-					outs[i].Data = getFloats(n)
+					outs[i].Data = getFloats(n, met)
 				}
+				sp := met.StartCompute()
 				for k := 0; k < n; k++ {
 					var vals []float64
 					var err error
@@ -218,6 +232,8 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 						outs[i].Data[k] = v
 					}
 				}
+				sp.End()
+				emit := met.StartEmit()
 				for i, fr := range outs {
 					out := newParamMsg(acfg.Features[i], fr.Box, fr.Data)
 					fr.Data = nil
@@ -225,6 +241,7 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 						return err
 					}
 				}
+				emit.End()
 				batch.Recycle()
 			}
 		})

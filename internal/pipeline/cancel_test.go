@@ -1,0 +1,121 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"haralick4d/internal/core"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/metrics"
+	"haralick4d/internal/synthetic"
+)
+
+// TestTCPCancelMidRun cancels a real texture pipeline on the TCP engine
+// while its pooled buffers (ParamMsg for HMP, MatrixBatchMsg for split) are
+// in flight across sockets. The run must return ctx's error promptly — no
+// deadlocked sender, no leaked receive loop — for both implementations.
+// Run with -race to also check the pools under cancellation.
+func TestTCPCancelMidRun(t *testing.T) {
+	grid := synthetic.GenerateGrid(synthetic.Config{Dims: [4]int{32, 32, 6, 6}, Seed: 5}, 16)
+	for _, impl := range []Impl{HMPImpl, SplitImpl} {
+		t.Run(impl.String(), func(t *testing.T) {
+			cfg := testConfig(impl, core.SparseMatrix, filter.DemandDriven)
+			cfg.Analysis.ROI = [4]int{6, 6, 2, 2}
+			cfg.ChunkShape = [4]int{12, 12, 4, 4}
+			layout := &Layout{
+				SourceNodes: []int{0},
+				HMPNodes:    []int{1, 2},
+				HCCNodes:    []int{1, 2},
+				HPCNodes:    []int{2},
+				OutputNodes: []int{0},
+			}
+			g, _, _, err := BuildMem(grid, cfg, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				cancel()
+			}()
+			done := make(chan struct{})
+			var runErr error
+			go func() {
+				_, runErr = RunContext(ctx, g, EngineTCP, &RunOptions{QueueDepth: 2})
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("pipeline did not stop after cancellation")
+			}
+			if !errors.Is(runErr, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", runErr)
+			}
+		})
+	}
+}
+
+// TestPipelineRunReport checks the report a real pipeline run produces: the
+// paper's filters appear with their span decompositions, the texture stage's
+// buffer pools record activity, and the per-filter time accounting covers
+// the run.
+func TestPipelineRunReport(t *testing.T) {
+	st := testStore(t)
+	cfg := testConfig(HMPImpl, core.SparseMatrix, filter.DemandDriven)
+	g, res, _, err := Build(st, cfg, &Layout{HMPNodes: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RunContext(context.Background(), g, EngineLocal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Complete(cfg.Analysis.Features); err != nil {
+		t.Fatal(err)
+	}
+	rep := rs.Report
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct{ filter, span string }{
+		{"RFR", metrics.SpanRead},
+		{"RFR", metrics.SpanEmit},
+		{"IIC", metrics.SpanAssemble},
+		{"HMP", metrics.SpanCompute},
+		{"HMP", metrics.SpanEmit},
+		{"OUT", metrics.SpanWrite},
+	} {
+		if sp := rep.Span(want.filter, want.span); sp.Count == 0 || sp.TotalNS <= 0 {
+			t.Errorf("span %s/%s missing from report: %+v", want.filter, want.span, sp)
+		}
+	}
+	hmp := rep.Filter("HMP")
+	if hmp == nil {
+		t.Fatal("no HMP filter in report")
+	}
+	if hmp.PoolHits+hmp.PoolMisses == 0 {
+		t.Error("HMP recorded no buffer-pool activity")
+	}
+	if len(rep.Streams) == 0 {
+		t.Error("no stream table")
+	}
+	if rep.Summary.Bottleneck == "" {
+		t.Error("no bottleneck identified")
+	}
+	// Engine-side accounting: each copy's busy+blocked+stalled is bounded by
+	// the elapsed wall time (the strict 10% two-sided check lives in
+	// internal/filter where the workload is controlled).
+	for _, f := range rep.Filters {
+		for _, c := range f.Copies {
+			if total := c.BusyNS + c.BlockedRecvNS + c.StalledSendNS; total > rep.ElapsedNS*11/10 {
+				t.Errorf("%s[%d]: accounted %dns exceeds elapsed %dns", f.Name, c.Copy, total, rep.ElapsedNS)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"haralick4d/internal/cluster"
@@ -363,24 +364,35 @@ type RunOptions struct {
 	QueueDepth   int
 	Topology     *cluster.Topology // EngineSim only; defaults to a uniform cluster
 	ComputeScale float64           // EngineSim only
+	// DisableMetrics turns off the observability layer for the run;
+	// RunStats.Report stays nil.
+	DisableMetrics bool
 }
 
 // Run executes a built graph on the selected engine.
 func Run(g *filter.Graph, engine Engine, opts *RunOptions) (*filter.RunStats, error) {
+	return RunContext(context.Background(), g, engine, opts)
+}
+
+// RunContext is Run under a context: cancellation aborts the run promptly on
+// every engine and surfaces ctx's error.
+func RunContext(ctx context.Context, g *filter.Graph, engine Engine, opts *RunOptions) (*filter.RunStats, error) {
 	if opts == nil {
 		opts = &RunOptions{}
 	}
 	switch engine {
 	case EngineLocal:
-		return filter.RunLocal(g, &filter.Options{QueueDepth: opts.QueueDepth})
+		return filter.RunLocalContext(ctx, g, &filter.Options{QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics})
 	case EngineTCP:
-		return filter.RunTCP(g, &filter.Options{QueueDepth: opts.QueueDepth})
+		return filter.RunTCPContext(ctx, g, &filter.Options{QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics})
 	case EngineSim:
 		topo := opts.Topology
 		if topo == nil {
 			topo = cluster.Uniform(g.NumNodes(), 1, cluster.LANLatency, cluster.FastEthernetMBps)
 		}
-		return cluster.Run(g, topo, &cluster.Options{QueueDepth: opts.QueueDepth, ComputeScale: opts.ComputeScale})
+		return cluster.RunContext(ctx, g, topo, &cluster.Options{
+			QueueDepth: opts.QueueDepth, ComputeScale: opts.ComputeScale, DisableMetrics: opts.DisableMetrics,
+		})
 	}
 	return nil, fmt.Errorf("pipeline: invalid engine %d", int(engine))
 }

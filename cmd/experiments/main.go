@@ -32,6 +32,7 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "simulation repetitions per configuration (min is reported)")
 		computeS = flag.Float64("compute-scale", experiments.DefaultComputeScale, "virtual seconds per host second on a speed-1 node")
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers inside each texture filter (0 = all CPUs, 1 = sequential reference kernel; the kernel figure sweeps this itself)")
+		rdAhead  = flag.Int("readahead", 4, "I/O windows the reader filters fetch ahead of the pipeline (0 = synchronous reads; outputs are identical either way)")
 		metricsF = flag.Bool("metrics", false, "after each figure, print the run report of its last engine run")
 		metJSON  = flag.String("metrics-json", "", "write the last figure's run report as JSON to this file (\"-\" for stdout)")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
@@ -71,6 +72,7 @@ func main() {
 	env.Repeats = *repeats
 	env.ComputeScale = *computeS
 	env.KernelWorkers = *kworkers
+	env.ReadAhead = *rdAhead
 
 	ids := experiments.AllIDs()
 	if *fig != "" {

@@ -63,6 +63,8 @@ func main() {
 		repS     = flag.String("rep", "full", "matrix representation: full, full-noskip, sparse")
 		policyS  = flag.String("policy", "demand-driven", "buffer scheduling: round-robin or demand-driven")
 		engineS  = flag.String("engine", "local", "execution engine: local, tcp, sim")
+		rdAhead  = flag.Int("readahead", 4, "I/O windows the dataset readers fetch ahead of the pipeline (0 = synchronous reads)")
+		codecS   = flag.String("wire-codec", "binary", "TCP wire codec: binary or gob")
 		texture  = flag.Int("texture", 4, "texture filter copies (HMP, or HCC+HPC pairs for split)")
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers per texture filter copy (0 = all CPUs, 1 = sequential reference kernel)")
 		iic      = flag.Int("iic", 1, "explicit IIC copies")
@@ -97,6 +99,13 @@ func main() {
 	engine, err := pipeline.ParseEngine(*engineS)
 	if err != nil {
 		fail("%v", err)
+	}
+	codec, err := filter.ParseCodec(*codecS)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *rdAhead < 0 {
+		fail("-readahead must be >= 0")
 	}
 	var roi [4]int
 	if _, err := fmt.Sscanf(*roiS, "%dx%dx%dx%d", &roi[0], &roi[1], &roi[2], &roi[3]); err != nil {
@@ -202,6 +211,7 @@ func main() {
 			layout.HPCNodes = tex // co-located pairs (the paper's best layout)
 		}
 	}
+	cfg.ReadAhead = *rdAhead
 	if cfg.Output != pipeline.OutputCollect {
 		if cfg.OutDir == "" {
 			fail("an output directory is required (use -out)")
@@ -228,7 +238,7 @@ func main() {
 		dims, cfg.Analysis.ROI, cfg.Analysis.GrayLevels, cfg.Impl, cfg.Analysis.Representation, cfg.Policy, engine)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	rs, err := pipeline.RunContext(ctx, g, engine, nil)
+	rs, err := pipeline.RunContext(ctx, g, engine, &pipeline.RunOptions{WireCodec: codec})
 	if err != nil {
 		fail("%v", err)
 	}

@@ -127,6 +127,10 @@ type Options struct {
 	// stays nil. Metrics are on by default and cost a few atomic operations
 	// per stream buffer.
 	DisableMetrics bool
+	// ReadAhead is the number of I/O windows the dataset readers fetch and
+	// decode ahead of the pipeline (AnalyzeDataset only). 0 — the default —
+	// reads synchronously; any depth produces bit-identical outputs.
+	ReadAhead int
 }
 
 // Validate checks the options and reports the first problem — the same
@@ -308,6 +312,9 @@ func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Res
 		Impl:     pipeline.HMPImpl,
 		Policy:   filter.DemandDriven,
 		Output:   pipeline.OutputCollect,
+	}
+	if opts != nil {
+		pcfg.ReadAhead = opts.ReadAhead
 	}
 	layout := &pipeline.Layout{HMPNodes: make([]int, opts.workers())}
 	g, sink, outDims, err := pipeline.Build(st, pcfg, layout)

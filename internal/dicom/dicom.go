@@ -19,6 +19,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"haralick4d/internal/dataset"
 )
 
 // ExplicitVRLittleEndian is the only transfer syntax this package handles.
@@ -258,6 +260,18 @@ func Encode(w io.Writer, img *Image) error {
 // pipeline needs). headerOnly stops before materializing pixel data, for
 // cheap index scans.
 func Decode(r io.Reader, headerOnly bool) (*Image, error) {
+	return decode(r, headerOnly, nil)
+}
+
+// DecodeInto is Decode with the pixel values written into the caller's
+// buffer (which must hold exactly Rows·Cols values) instead of a fresh
+// allocation — the streaming reader's steady-state path. The returned
+// Image's Pixels aliases pixels.
+func DecodeInto(r io.Reader, pixels []uint16) (*Image, error) {
+	return decode(r, false, pixels)
+}
+
+func decode(r io.Reader, headerOnly bool, dst []uint16) (*Image, error) {
 	pre := make([]byte, preambleLen+4)
 	if _, err := io.ReadFull(r, pre); err != nil {
 		return nil, fmt.Errorf("dicom: truncated preamble: %w", err)
@@ -359,10 +373,15 @@ func Decode(r io.Reader, headerOnly bool) (*Image, error) {
 			if len(e.Value) != want {
 				return nil, fmt.Errorf("dicom: pixel data is %d bytes, want %d for %dx%d", len(e.Value), want, img.Cols, img.Rows)
 			}
-			img.Pixels = make([]uint16, img.Rows*img.Cols)
-			for i := range img.Pixels {
-				img.Pixels[i] = binary.LittleEndian.Uint16(e.Value[2*i:])
+			if dst != nil {
+				if len(dst) != img.Rows*img.Cols {
+					return nil, fmt.Errorf("dicom: pixel buffer holds %d values, want %d", len(dst), img.Rows*img.Cols)
+				}
+				img.Pixels = dst
+			} else {
+				img.Pixels = make([]uint16, img.Rows*img.Cols)
 			}
+			dataset.DecodeUint16s(img.Pixels, e.Value)
 		}
 	}
 	if img.Rows == 0 || img.Cols == 0 {

@@ -202,6 +202,20 @@ func (s *Study) ReadSlice(sf SliceFile) ([]uint16, error) {
 	return img.Pixels, nil
 }
 
+// ReadSliceInto loads one slice's pixels into the caller's X·Y-value
+// buffer, so a streaming reader reuses one buffer per window.
+func (s *Study) ReadSliceInto(sf SliceFile, out []uint16) error {
+	f, err := os.Open(sf.Path)
+	if err != nil {
+		return fmt.Errorf("dicom: %w", err)
+	}
+	defer f.Close()
+	if _, err := DecodeInto(f, out); err != nil {
+		return fmt.Errorf("dicom: %s: %w", sf.Path, err)
+	}
+	return nil
+}
+
 // ReadVolume loads the whole study into memory (test oracle and
 // small-study convenience).
 func (s *Study) ReadVolume() (*volume.Volume, error) {

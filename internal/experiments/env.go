@@ -112,6 +112,10 @@ type Env struct {
 	// jitter (GC pauses, scheduling noise) that the emulation would
 	// otherwise charge as compute. Default 3.
 	Repeats int
+	// ReadAhead is the depth of the reader filters' read-ahead stage (see
+	// filters.RFRConfig.ReadAhead). 0 keeps the synchronous reads; outputs
+	// are bit-identical at every depth, so only I/O timing changes.
+	ReadAhead int
 	// KernelWorkers pins the intra-chunk worker count of the texture
 	// kernel. The paper's figures measure scaling across filter copies, so
 	// the default is 1 (the sequential reference kernel) — leaving each

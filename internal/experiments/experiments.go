@@ -81,6 +81,7 @@ func (e *Env) simulate(mk func() (*pipeline.Config, *pipeline.Layout, error), to
 		if err != nil {
 			return nil, err
 		}
+		cfg.ReadAhead = e.ReadAhead
 		g, _, _, err := pipeline.Build(e.Store, cfg, layout)
 		if err != nil {
 			return nil, err

@@ -21,6 +21,11 @@ type Options struct {
 	// nil. The default (metrics on) costs a few atomic operations per
 	// buffer.
 	DisableMetrics bool
+	// WireCodec selects the serialization of buffers crossing nodes on the
+	// TCP engine (ignored by the pure local engine). The zero value is
+	// CodecGob, the original transport; CodecBinary uses the length-prefixed
+	// framing with direct backing-array writes for registered payload types.
+	WireCodec Codec
 }
 
 func (o *Options) depth() int {
@@ -28,6 +33,13 @@ func (o *Options) depth() int {
 		return 32
 	}
 	return o.QueueDepth
+}
+
+func (o *Options) codec() Codec {
+	if o == nil {
+		return CodecGob
+	}
+	return o.WireCodec
 }
 
 // RunLocal executes the graph with every filter copy as a goroutine and all

@@ -16,9 +16,10 @@ import (
 
 // RunTCP executes the graph with one loopback TCP endpoint per node:
 // buffers between co-located filter copies are handed over by pointer
-// exactly as in RunLocal, while buffers crossing nodes are gob-serialized
-// and travel through real TCP sockets — the transport split DataCutter
-// makes between co-located and remote filters.
+// exactly as in RunLocal, while buffers crossing nodes are serialized with
+// the configured wire codec (Options.WireCodec, gob by default) and travel
+// through real TCP sockets — the transport split DataCutter makes between
+// co-located and remote filters.
 //
 // All filter copies still run in this process (each node is a router, not a
 // separate OS process), so the engine exercises real serialization and
@@ -37,7 +38,7 @@ func RunTCPContext(ctx context.Context, g *Graph, opts *Options) (*RunStats, err
 	if err != nil {
 		return nil, err
 	}
-	tr, err := newTCPTransport(rt, g.NumNodes())
+	tr, err := newTCPTransport(rt, g.NumNodes(), opts.codec())
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +92,7 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 // graph actually uses, created lazily on first send.
 type tcpTransport struct {
 	rt        *runtime
+	codec     Codec
 	listeners []net.Listener
 	addrs     []string
 
@@ -112,12 +114,13 @@ type tcpConn struct {
 	mu  sync.Mutex
 	c   net.Conn
 	cw  *countingWriter
-	enc *gob.Encoder
+	enc *gob.Encoder  // CodecGob only
+	buf []byte        // CodecBinary frame scratch, reused under mu
 	met *metrics.Conn // nil when metrics are disabled
 }
 
-func newTCPTransport(rt *runtime, nodes int) (*tcpTransport, error) {
-	tr := &tcpTransport{rt: rt, conns: map[[2]int]*tcpConn{}, mets: map[[2]int]*metrics.Conn{}}
+func newTCPTransport(rt *runtime, nodes int, codec Codec) (*tcpTransport, error) {
+	tr := &tcpTransport{rt: rt, codec: codec, conns: map[[2]int]*tcpConn{}, mets: map[[2]int]*metrics.Conn{}}
 	for i := 0; i < nodes; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -193,24 +196,72 @@ func (tr *tcpTransport) acceptLoop(ln net.Listener, node int) {
 	}
 }
 
+// envelopeDecoder reads one envelope per call from a connection, in the
+// codec's wire format. io.EOF between envelopes means a clean close.
+type envelopeDecoder interface {
+	next() (envelope, error)
+}
+
+// gobEnvelopeDecoder is the CodecGob receive side: one gob stream per
+// connection.
+type gobEnvelopeDecoder struct{ dec *gob.Decoder }
+
+func (d gobEnvelopeDecoder) next() (envelope, error) {
+	var env envelope
+	err := d.dec.Decode(&env)
+	return env, err
+}
+
+// binaryEnvelopeDecoder is the CodecBinary receive side: a u32 length prefix
+// followed by the frame body, read with exactly two ReadFull calls so the
+// counting reader's per-message byte attribution stays exact.
+type binaryEnvelopeDecoder struct {
+	r   io.Reader
+	hdr [4]byte
+	buf []byte // frame scratch, reused across messages
+}
+
+func (d *binaryEnvelopeDecoder) next() (envelope, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return envelope{}, err
+	}
+	n := int(binaryFrameLen(d.hdr))
+	if n > maxWireFrame {
+		return envelope{}, fmt.Errorf("filter: tcp frame of %d bytes exceeds limit", n)
+	}
+	if cap(d.buf) < n {
+		d.buf = make([]byte, n)
+	}
+	d.buf = d.buf[:n]
+	if _, err := io.ReadFull(d.r, d.buf); err != nil {
+		return envelope{}, err
+	}
+	return decodeEnvelope(d.buf)
+}
+
 // recvLoop decodes envelopes arriving at one node's endpoint and enqueues
 // them at the destination copy. The Recv timer includes socket wait, so on a
 // mostly idle connection it approaches the connection's lifetime; WireBytesIn
 // is exact. After the run aborts the loop keeps decoding and discarding
 // envelopes instead of returning: a remote sender blocked inside a partial
-// gob encode (which cannot observe the abort) would otherwise never finish
+// encode (which cannot observe the abort) would otherwise never finish
 // its write, and the engine's shutdown would deadlock.
 func (tr *tcpTransport) recvLoop(conn net.Conn, node int) {
 	defer tr.recvWG.Done()
 	cr := &countingReader{r: conn}
-	dec := gob.NewDecoder(cr)
+	var dec envelopeDecoder
+	if tr.codec == CodecBinary {
+		dec = &binaryEnvelopeDecoder{r: cr}
+	} else {
+		dec = gobEnvelopeDecoder{dec: gob.NewDecoder(cr)}
+	}
 	var met *metrics.Conn
 	var lastBytes int64
 	dropping := false
 	for {
-		var env envelope
 		start := time.Now()
-		if err := dec.Decode(&env); err != nil {
+		env, err := dec.next()
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !tr.isClosed() && !dropping {
 				tr.rt.fail(fmt.Errorf("filter: tcp decode: %w", err))
 			}
@@ -264,7 +315,10 @@ func (tr *tcpTransport) connTo(from, to int) (*tcpConn, error) {
 		return nil, fmt.Errorf("filter: tcp dial node %d: %w", to, err)
 	}
 	cw := &countingWriter{w: conn}
-	c := &tcpConn{c: conn, cw: cw, enc: gob.NewEncoder(cw), met: tr.connMetric(from, to)}
+	c := &tcpConn{c: conn, cw: cw, met: tr.connMetric(from, to)}
+	if tr.codec != CodecBinary {
+		c.enc = gob.NewEncoder(cw)
+	}
 	tr.conns[key] = c
 	return c, nil
 }
@@ -282,7 +336,16 @@ func (tr *tcpTransport) deliver(from, to *copyState, m inMsg) error {
 	if c.met != nil {
 		start = time.Now()
 	}
-	if err := c.enc.Encode(env); err != nil {
+	if tr.codec == CodecBinary {
+		buf, err := appendEnvelope(c.buf[:0], &env)
+		if err != nil {
+			return fmt.Errorf("filter: tcp encode to %s[%d]: %w", to.filter, to.copyIdx, err)
+		}
+		c.buf = buf // keep the grown scratch for the next message
+		if _, err := c.cw.Write(buf); err != nil {
+			return fmt.Errorf("filter: tcp write to %s[%d]: %w", to.filter, to.copyIdx, err)
+		}
+	} else if err := c.enc.Encode(env); err != nil {
 		return fmt.Errorf("filter: tcp encode to %s[%d]: %w", to.filter, to.copyIdx, err)
 	}
 	if c.met != nil {

@@ -5,6 +5,8 @@ import (
 
 	"haralick4d/internal/dicom"
 	"haralick4d/internal/filter"
+	"haralick4d/internal/metrics"
+	"haralick4d/internal/readahead"
 	"haralick4d/internal/volume"
 )
 
@@ -16,14 +18,18 @@ type DFRConfig struct {
 	Study      *dicom.Study
 	Chunker    *volume.Chunker
 	GrayLevels int
+	// ReadAhead is the number of slices a small worker pool decodes ahead
+	// of the emit loop; 0 reads synchronously, reproducing the un-staged
+	// reader exactly.
+	ReadAhead int
 }
 
 // NewDFR returns the DICOMFileReader factory. Each copy decodes the DICOM
-// slices owned by its storage node, requantizes them with the study-global
-// window, cuts each slice into the pieces needed by each intersecting
-// texture chunk, and routes every piece explicitly to the IIC copy that
-// assembles that chunk — the same stream contract as RFR, so the rest of
-// the pipeline is unchanged.
+// slices owned by its storage node through the read-ahead stage, requantizes
+// them with the study-global window off the emit path, cuts each slice into
+// the pieces needed by each intersecting texture chunk, and routes every
+// piece explicitly to the IIC copy that assembles that chunk — the same
+// stream contract as RFR, so the rest of the pipeline is unchanged.
 func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 	return func(copy int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
@@ -37,37 +43,44 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 				return err
 			}
 			met := ctx.Metrics()
-			chunks := cfg.Chunker.Chunks()
 			X, Y := st.Dims[0], st.Dims[1]
-			for _, sf := range slices {
+			fetch := func(i int) (*volume.Region, error) {
+				sf := slices[i]
 				sp := met.StartRead()
-				pix, err := st.ReadSlice(sf)
-				if err != nil {
-					return err
+				defer sp.End()
+				pix := getU16(X * Y)
+				defer putU16(pix)
+				if err := st.ReadSliceInto(sf, pix); err != nil {
+					return nil, err
 				}
-				window := volume.NewRegion(volume.Box{
+				window := getRegion(volume.Box{
 					Lo: [4]int{0, 0, sf.Z, sf.T},
 					Hi: [4]int{X, Y, sf.Z + 1, sf.T + 1},
-				})
+				}, met)
 				for i, v := range pix {
 					window.Data[i] = volume.QuantizeValue(v, cfg.GrayLevels, st.Min, st.Max)
 				}
-				sp.End()
-				for _, ch := range chunks {
-					inter, ok := ch.Voxels.Intersect(window.Box)
-					if !ok {
-						continue
-					}
-					piece := volume.NewRegion(inter)
-					piece.CopyFrom(window)
-					msg := &PieceMsg{Chunk: ch.Index, Region: piece}
-					emit := met.StartEmit()
-					err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg)
-					emit.End()
-					if err != nil {
-						return err
-					}
+				return window, nil
+			}
+			ra := readahead.New(fetch, len(slices), cfg.ReadAhead)
+			defer ra.Close()
+			for i := range slices {
+				var wait metrics.Span
+				if cfg.ReadAhead > 0 {
+					wait = met.StartReadWait()
 				}
+				window, err, ok := ra.Next()
+				wait.End()
+				if !ok {
+					break // closed mid-stream; the engine is aborting
+				}
+				if err != nil {
+					return err
+				}
+				if err := emitPieces(ctx, cfg.Chunker, slices[i].Z, slices[i].T, window, iicCopies); err != nil {
+					return err
+				}
+				putRegion(window)
 			}
 			return nil
 		})

@@ -5,6 +5,8 @@ import (
 
 	"haralick4d/internal/dataset"
 	"haralick4d/internal/filter"
+	"haralick4d/internal/metrics"
+	"haralick4d/internal/readahead"
 	"haralick4d/internal/volume"
 )
 
@@ -26,12 +28,25 @@ type RFRConfig struct {
 	// whole slices ("a RFR filter can read one image slice without any disk
 	// seek operations").
 	IOChunk [2]int
+	// ReadAhead is the number of I/O windows a small worker pool fetches
+	// (positioned reads + requantization) ahead of the emit loop. 0 reads
+	// synchronously, reproducing the un-staged reader exactly.
+	ReadAhead int
+}
+
+// ioWindow is one read unit of the reader filters: a 2D sub-window of one
+// slice.
+type ioWindow struct {
+	ref            dataset.SliceRef
+	x0, x1, y0, y1 int
 }
 
 // NewRFR returns the RFR factory. The filter reads the 2D slices owned by
-// its storage node, requantizes them, cuts each I/O window into the pieces
-// needed by each intersecting texture chunk, and routes every piece
-// explicitly to the IIC copy that assembles that chunk.
+// its storage node through the read-ahead stage, requantizes them off the
+// emit path, cuts each I/O window into the pieces needed by each
+// intersecting texture chunk (found via the chunker's precomputed per-slice
+// lists), and routes every piece explicitly to the IIC copy that assembles
+// that chunk.
 func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 	return func(copy int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
@@ -54,46 +69,81 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 				ioy = Y
 			}
 			met := ctx.Metrics()
-			chunks := cfg.Chunker.Chunks()
+			var windows []ioWindow
 			for _, ref := range refs {
 				for y0 := 0; y0 < Y; y0 += ioy {
-					y1 := min(y0+ioy, Y)
 					for x0 := 0; x0 < X; x0 += iox {
-						x1 := min(x0+iox, X)
-						sp := met.StartRead()
-						raw, err := st.ReadSliceRegion(ctx.CopyIndex(), ref, x0, x1, y0, y1)
-						if err != nil {
-							return err
-						}
-						window := volume.NewRegion(volume.Box{
-							Lo: [4]int{x0, y0, ref.Z, ref.T},
-							Hi: [4]int{x1, y1, ref.Z + 1, ref.T + 1},
-						})
-						for i, v := range raw {
-							window.Data[i] = volume.QuantizeValue(v, cfg.GrayLevels, meta.Min, meta.Max)
-						}
-						sp.End()
-						for _, ch := range chunks {
-							inter, ok := ch.Voxels.Intersect(window.Box)
-							if !ok {
-								continue
-							}
-							piece := volume.NewRegion(inter)
-							piece.CopyFrom(window)
-							msg := &PieceMsg{Chunk: ch.Index, Region: piece}
-							emit := met.StartEmit()
-							err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg)
-							emit.End()
-							if err != nil {
-								return err
-							}
-						}
+						windows = append(windows, ioWindow{ref: ref, x0: x0, x1: min(x0+iox, X), y0: y0, y1: min(y0+ioy, Y)})
 					}
 				}
+			}
+			// fetch runs on the read-ahead workers (or inline when
+			// ReadAhead is 0): one positioned read plus the uint16→gray
+			// decode, into a pooled window region the emit loop recycles.
+			fetch := func(i int) (*volume.Region, error) {
+				w := windows[i]
+				sp := met.StartRead()
+				defer sp.End()
+				raw := getU16((w.x1 - w.x0) * (w.y1 - w.y0))
+				defer putU16(raw)
+				if err := st.ReadSliceRegionInto(ctx.CopyIndex(), w.ref, w.x0, w.x1, w.y0, w.y1, raw); err != nil {
+					return nil, err
+				}
+				window := getRegion(volume.Box{
+					Lo: [4]int{w.x0, w.y0, w.ref.Z, w.ref.T},
+					Hi: [4]int{w.x1, w.y1, w.ref.Z + 1, w.ref.T + 1},
+				}, met)
+				for i, v := range raw {
+					window.Data[i] = volume.QuantizeValue(v, cfg.GrayLevels, meta.Min, meta.Max)
+				}
+				return window, nil
+			}
+			ra := readahead.New(fetch, len(windows), cfg.ReadAhead)
+			defer ra.Close()
+			for i := range windows {
+				var wait metrics.Span
+				if cfg.ReadAhead > 0 {
+					wait = met.StartReadWait()
+				}
+				window, err, ok := ra.Next()
+				wait.End()
+				if !ok {
+					break // closed mid-stream; the engine is aborting
+				}
+				if err != nil {
+					return err
+				}
+				if err := emitPieces(ctx, cfg.Chunker, windows[i].ref.Z, windows[i].ref.T, window, iicCopies); err != nil {
+					return err
+				}
+				putRegion(window)
 			}
 			return nil
 		})
 	}
+}
+
+// emitPieces cuts a filled window into the pieces needed by each texture
+// chunk intersecting its slice plane and routes each to the IIC copy owning
+// that chunk. Shared by RFR and DFR.
+func emitPieces(ctx filter.Context, chunker *volume.Chunker, z, t int, window *volume.Region, iicCopies int) error {
+	met := ctx.Metrics()
+	for _, ch := range chunker.SliceChunks(z, t) {
+		inter, ok := ch.Voxels.Intersect(window.Box)
+		if !ok {
+			continue
+		}
+		piece := getRegion(inter, met)
+		piece.CopyFrom(window)
+		msg := newPieceMsg(ch.Index, piece)
+		emit := met.StartEmit()
+		err := ctx.SendTo(PortOut, chunkOwnerIIC(ch.Index, iicCopies), msg)
+		emit.End()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // IICConfig configures the InputImageConstructor filter.
@@ -132,27 +182,29 @@ func NewIIC(cfg IICConfig) func(int) filter.Filter {
 				}
 				met := ctx.Metrics()
 				sp := met.StartAssemble()
-				ch := cfg.Chunker.Chunk(piece.Chunk)
-				a := pending[piece.Chunk]
+				chunkIdx := piece.Chunk // survives the Recycle below
+				ch := cfg.Chunker.Chunk(chunkIdx)
+				a := pending[chunkIdx]
 				if a == nil {
 					a = &assembly{region: volume.NewRegion(ch.Voxels), remaining: ch.Voxels.NumVoxels()}
-					pending[piece.Chunk] = a
+					pending[chunkIdx] = a
 				}
 				a.remaining -= a.region.CopyFrom(piece.Region)
+				piece.Recycle()
 				sp.End()
 				if a.remaining < 0 {
-					return fmt.Errorf("filters: chunk %d received overlapping pieces", piece.Chunk)
+					return fmt.Errorf("filters: chunk %d received overlapping pieces", chunkIdx)
 				}
 				if a.remaining == 0 {
-					out := &ChunkMsg{Chunk: piece.Chunk, Origins: ch.Origins, Region: a.region}
+					out := &ChunkMsg{Chunk: chunkIdx, Origins: ch.Origins, Region: a.region}
 					emit := met.StartEmit()
 					err := ctx.Send(PortOut, out)
 					emit.End()
 					if err != nil {
 						return err
 					}
-					delete(pending, piece.Chunk)
-					done[piece.Chunk] = true
+					delete(pending, chunkIdx)
+					done[chunkIdx] = true
 				}
 			}
 			if len(pending) != 0 {

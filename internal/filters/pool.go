@@ -23,7 +23,64 @@ var (
 	floatPool   sync.Pool // holds *[]float64
 	batchPool   = sync.Pool{New: func() any { return new(MatrixBatchMsg) }}
 	scratchPool = sync.Pool{New: func() any { return new(core.MatrixBatch) }}
+	piecePool   = sync.Pool{New: func() any { return new(PieceMsg) }}
+	regionPool  sync.Pool // holds *volume.Region
+	u16Pool     sync.Pool // holds *[]uint16 (reader decode scratch)
 )
+
+// getRegion leases a region covering box b, reusing pooled backing when its
+// capacity suffices. The region's data is NOT zeroed: callers overwrite
+// every voxel (window fills and piece CopyFrom both cover the full box).
+func getRegion(b volume.Box, met *metrics.Copy) *volume.Region {
+	n := b.NumVoxels()
+	if p, ok := regionPool.Get().(*volume.Region); ok && cap(p.Data) >= n {
+		p.Box = b
+		p.Data = p.Data[:n]
+		met.Pool(true)
+		return p
+	}
+	met.Pool(false)
+	return volume.NewRegion(b)
+}
+
+func putRegion(r *volume.Region) {
+	if r == nil || cap(r.Data) == 0 {
+		return
+	}
+	regionPool.Put(r)
+}
+
+// getU16 leases a decode scratch buffer of length n.
+func getU16(n int) []uint16 {
+	if p, ok := u16Pool.Get().(*[]uint16); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint16, n)
+}
+
+func putU16(s []uint16) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	u16Pool.Put(&s)
+}
+
+// newPieceMsg assembles a pooled PieceMsg taking ownership of region.
+func newPieceMsg(chunk int, region *volume.Region) *PieceMsg {
+	m := piecePool.Get().(*PieceMsg)
+	m.Chunk, m.Region = chunk, region
+	return m
+}
+
+// Recycle returns the message and its region backing to the pools. Only the
+// message's single consumer (the IIC copy that assembled the piece) may call
+// it, after CopyFrom; the piece must not be touched afterwards.
+func (m *PieceMsg) Recycle() {
+	putRegion(m.Region)
+	m.Region = nil
+	piecePool.Put(m)
+}
 
 // getFloats returns a zeroed []float64 of length n, reusing pooled backing
 // when its capacity suffices. The lease outcome (reuse vs. fresh allocation)

@@ -1,0 +1,298 @@
+package filters
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"haralick4d/internal/features"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/glcm"
+	"haralick4d/internal/volume"
+)
+
+// This file gives the four hot stream message types a hand-rolled binary
+// wire encoding for filter.CodecBinary. Integers travel as uvarints, boxes
+// as eight uvarints, and the backing arrays (region voxels, matrix entries
+// and counts, parameter values) are written with bulk appends — no
+// per-element reflection, no per-message type description. AssembledMsg is
+// deliberately left unregistered: it crosses the wire once per feature, so
+// it exercises the codec's transparent gob fallback instead.
+const (
+	wirePiece = 1 + iota
+	wireChunk
+	wireMatrixBatch
+	wireParam
+)
+
+func init() {
+	filter.RegisterWireDecoder(wirePiece, decodePieceMsg)
+	filter.RegisterWireDecoder(wireChunk, decodeChunkMsg)
+	filter.RegisterWireDecoder(wireMatrixBatch, decodeMatrixBatchMsg)
+	filter.RegisterWireDecoder(wireParam, decodeParamMsg)
+}
+
+func appendBox(buf []byte, b volume.Box) []byte {
+	for _, v := range b.Lo {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for _, v := range b.Hi {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return buf
+}
+
+func appendRegion(buf []byte, r *volume.Region) []byte {
+	buf = appendBox(buf, r.Box)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+	return append(buf, r.Data...)
+}
+
+// wireReader is a cursor over one decoded frame; the first failure sticks.
+type wireReader struct {
+	data []byte
+	err  error
+}
+
+func (r *wireReader) fail(field string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated at %s", field)
+	}
+}
+
+func (r *wireReader) uvarint(field string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail(field)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *wireReader) count(field string) int {
+	n := r.uvarint(field)
+	if r.err == nil && n > uint64(len(r.data)) {
+		// Every counted element occupies at least one byte, so a count
+		// exceeding the remaining frame is corrupt; checking here keeps a bad
+		// length from driving a huge allocation.
+		r.fail(field)
+	}
+	return int(n)
+}
+
+func (r *wireReader) bytes(n int, field string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.data) {
+		r.fail(field)
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *wireReader) byte(field string) byte {
+	b := r.bytes(1, field)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) box(field string) volume.Box {
+	var b volume.Box
+	for i := range b.Lo {
+		b.Lo[i] = int(r.uvarint(field))
+	}
+	for i := range b.Hi {
+		b.Hi[i] = int(r.uvarint(field))
+	}
+	return b
+}
+
+func (r *wireReader) region(field string) *volume.Region {
+	b := r.box(field)
+	n := r.count(field)
+	data := r.bytes(n, field)
+	if r.err != nil {
+		return nil
+	}
+	if n != b.NumVoxels() {
+		r.err = fmt.Errorf("%s: %d data bytes for a %d-voxel box", field, n, b.NumVoxels())
+		return nil
+	}
+	// The frame buffer is recycled by the receive loop; copy out.
+	return &volume.Region{Box: b, Data: append([]uint8(nil), data...)}
+}
+
+// WireID implements filter.WirePayload.
+func (m *PieceMsg) WireID() byte { return wirePiece }
+
+// AppendWire implements filter.WirePayload.
+func (m *PieceMsg) AppendWire(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.Chunk))
+	return appendRegion(buf, m.Region)
+}
+
+func decodePieceMsg(data []byte) (filter.Payload, error) {
+	r := wireReader{data: data}
+	m := &PieceMsg{Chunk: int(r.uvarint("Chunk"))}
+	m.Region = r.region("Region")
+	if r.err != nil {
+		return nil, fmt.Errorf("PieceMsg: %w", r.err)
+	}
+	return m, nil
+}
+
+// WireID implements filter.WirePayload.
+func (m *ChunkMsg) WireID() byte { return wireChunk }
+
+// AppendWire implements filter.WirePayload.
+func (m *ChunkMsg) AppendWire(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.Chunk))
+	buf = appendBox(buf, m.Origins)
+	return appendRegion(buf, m.Region)
+}
+
+func decodeChunkMsg(data []byte) (filter.Payload, error) {
+	r := wireReader{data: data}
+	m := &ChunkMsg{Chunk: int(r.uvarint("Chunk"))}
+	m.Origins = r.box("Origins")
+	m.Region = r.region("Region")
+	if r.err != nil {
+		return nil, fmt.Errorf("ChunkMsg: %w", r.err)
+	}
+	return m, nil
+}
+
+// MatrixBatchMsg flag bits.
+const (
+	wireBatchNoSkip = 1 << 0
+	wireBatchSparse = 1 << 1
+)
+
+// WireID implements filter.WirePayload.
+func (m *MatrixBatchMsg) WireID() byte { return wireMatrixBatch }
+
+// AppendWire implements filter.WirePayload. Sparse matrices travel as their
+// sorted (i, j, count) entry triples — 6 bytes each, the paper's case for
+// the sparse representation on the wire; full matrices as little-endian u32
+// count arrays. The pooled scratch container never crosses the wire.
+func (m *MatrixBatchMsg) AppendWire(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.Chunk))
+	buf = appendBox(buf, m.Origins)
+	buf = binary.AppendUvarint(buf, uint64(m.G))
+	flags := byte(0)
+	if m.NoSkip {
+		flags |= wireBatchNoSkip
+	}
+	if m.Sparse != nil {
+		flags |= wireBatchSparse
+	}
+	buf = append(buf, flags)
+	if m.Sparse != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(m.Sparse)))
+		for _, s := range m.Sparse {
+			buf = binary.AppendUvarint(buf, uint64(s.G))
+			buf = binary.AppendUvarint(buf, s.Total)
+			buf = binary.AppendUvarint(buf, uint64(len(s.Entries)))
+			for _, e := range s.Entries {
+				buf = append(buf, e.I, e.J,
+					byte(e.Count), byte(e.Count>>8), byte(e.Count>>16), byte(e.Count>>24))
+			}
+		}
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Full)))
+	for _, f := range m.Full {
+		buf = binary.AppendUvarint(buf, uint64(f.G))
+		buf = binary.AppendUvarint(buf, f.Total)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Counts)))
+		for _, c := range f.Counts {
+			buf = binary.LittleEndian.AppendUint32(buf, c)
+		}
+	}
+	return buf
+}
+
+func decodeMatrixBatchMsg(data []byte) (filter.Payload, error) {
+	r := wireReader{data: data}
+	m := &MatrixBatchMsg{Chunk: int(r.uvarint("Chunk"))}
+	m.Origins = r.box("Origins")
+	m.G = int(r.uvarint("G"))
+	flags := r.byte("flags")
+	m.NoSkip = flags&wireBatchNoSkip != 0
+	n := r.count("matrices")
+	if r.err == nil && flags&wireBatchSparse != 0 {
+		m.Sparse = make([]*glcm.Sparse, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			s := &glcm.Sparse{G: int(r.uvarint("Sparse.G")), Total: r.uvarint("Sparse.Total")}
+			ne := r.count("Sparse.Entries")
+			raw := r.bytes(6*ne, "Sparse.Entries")
+			if r.err != nil {
+				break
+			}
+			s.Entries = make([]glcm.Entry, ne)
+			for j := range s.Entries {
+				b := raw[6*j:]
+				s.Entries[j] = glcm.Entry{I: b[0], J: b[1], Count: binary.LittleEndian.Uint32(b[2:6])}
+			}
+			m.Sparse = append(m.Sparse, s)
+		}
+	} else if r.err == nil {
+		m.Full = make([]*glcm.Full, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			f := &glcm.Full{G: int(r.uvarint("Full.G")), Total: r.uvarint("Full.Total")}
+			nc := r.count("Full.Counts")
+			raw := r.bytes(4*nc, "Full.Counts")
+			if r.err != nil {
+				break
+			}
+			f.Counts = make([]uint32, nc)
+			for j := range f.Counts {
+				f.Counts[j] = binary.LittleEndian.Uint32(raw[4*j:])
+			}
+			m.Full = append(m.Full, f)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("MatrixBatchMsg: %w", r.err)
+	}
+	return m, nil
+}
+
+// WireID implements filter.WirePayload.
+func (m *ParamMsg) WireID() byte { return wireParam }
+
+// AppendWire implements filter.WirePayload.
+func (m *ParamMsg) AppendWire(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.Feature))
+	buf = appendBox(buf, m.Box)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Values)))
+	for _, v := range m.Values {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeParamMsg(data []byte) (filter.Payload, error) {
+	r := wireReader{data: data}
+	m := &ParamMsg{Feature: features.Feature(r.uvarint("Feature"))}
+	m.Box = r.box("Box")
+	n := r.count("Values")
+	raw := r.bytes(8*n, "Values")
+	if r.err != nil {
+		return nil, fmt.Errorf("ParamMsg: %w", r.err)
+	}
+	m.Values = make([]float64, n)
+	for i := range m.Values {
+		m.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return m, nil
+}

@@ -91,11 +91,12 @@ func (s Span) End() {
 // Span names used by the filters; the RunReport spans tables are keyed by
 // these.
 const (
-	SpanRead     = "read"     // disk/DICOM read + requantization (RFR, DFR, SRC)
-	SpanAssemble = "assemble" // chunk/image stitching (IIC, HIC)
-	SpanCompute  = "compute"  // texture kernel time (HMP, HCC, HPC)
-	SpanEmit     = "emit"     // Send/SendTo call time, including stream backpressure
-	SpanWrite    = "write"    // output persistence (USO records, JPEG encode, Collector)
+	SpanRead     = "read"      // disk/DICOM read + requantization (RFR, DFR, SRC)
+	SpanReadWait = "read-wait" // emit loop waiting on the read-ahead stage (RFR, DFR)
+	SpanAssemble = "assemble"  // chunk/image stitching (IIC, HIC)
+	SpanCompute  = "compute"   // texture kernel time (HMP, HCC, HPC)
+	SpanEmit     = "emit"      // Send/SendTo call time, including stream backpressure
+	SpanWrite    = "write"     // output persistence (USO records, JPEG encode, Collector)
 )
 
 // Copy collects one filter copy's instrumented activity beyond what the
@@ -103,8 +104,8 @@ const (
 // methods are nil-receiver safe: a nil *Copy records nothing, so filters
 // run unchanged when metrics are disabled.
 type Copy struct {
-	Read, Assemble, Compute, Emit, Write Timer
-	PoolHit, PoolMiss                    Counter
+	Read, ReadWait, Assemble, Compute, Emit, Write Timer
+	PoolHit, PoolMiss                              Counter
 }
 
 // StartRead opens a read span (no-op on nil receiver).
@@ -113,6 +114,15 @@ func (c *Copy) StartRead() Span {
 		return Span{}
 	}
 	return c.Read.Start()
+}
+
+// StartReadWait opens a read-wait span — the time a reader's emit loop
+// spends blocked on the read-ahead stage (no-op on nil receiver).
+func (c *Copy) StartReadWait() Span {
+	if c == nil {
+		return Span{}
+	}
+	return c.ReadWait.Start()
 }
 
 // StartAssemble opens an assemble span (no-op on nil receiver).
@@ -166,8 +176,8 @@ func (c *Copy) Spans() map[string]SpanStat {
 	}
 	out := map[string]SpanStat{}
 	for name, t := range map[string]*Timer{
-		SpanRead: &c.Read, SpanAssemble: &c.Assemble, SpanCompute: &c.Compute,
-		SpanEmit: &c.Emit, SpanWrite: &c.Write,
+		SpanRead: &c.Read, SpanReadWait: &c.ReadWait, SpanAssemble: &c.Assemble,
+		SpanCompute: &c.Compute, SpanEmit: &c.Emit, SpanWrite: &c.Write,
 	} {
 		if st := t.Stat(); st.Count > 0 {
 			out[name] = st

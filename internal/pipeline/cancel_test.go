@@ -3,13 +3,17 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
 	"haralick4d/internal/core"
+	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/metrics"
 	"haralick4d/internal/synthetic"
+	"haralick4d/internal/volume"
 )
 
 // TestTCPCancelMidRun cancels a real texture pipeline on the TCP engine
@@ -55,6 +59,128 @@ func TestTCPCancelMidRun(t *testing.T) {
 				t.Fatalf("err = %v, want context.Canceled", runErr)
 			}
 		})
+	}
+}
+
+// TestTCPCancelMidReadAhead aborts a disk-backed TCP run whose RFR copies
+// have an active read-ahead stage (workers blocked in positioned reads or in
+// hand-off to the emit loop). The run must return promptly and the
+// read-ahead workers must exit with it — checked by watching the process
+// goroutine count return to its pre-run level. Run with -race to check the
+// window/piece pools under cancellation.
+func TestTCPCancelMidReadAhead(t *testing.T) {
+	st := testStore(t)
+	baseline := runtime.NumGoroutine()
+	for trial := 0; trial < 5; trial++ {
+		cfg := testConfig(HMPImpl, core.SparseMatrix, filter.DemandDriven)
+		cfg.ReadAhead = 8
+		cfg.IOChunk = [2]int{8, 8} // many small reads: cancellation lands mid-stream
+		g, _, _, err := Build(st, cfg, &Layout{
+			SourceNodes: []int{0, 1, 2},
+			HMPNodes:    []int{1, 2},
+			OutputNodes: []int{0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(delay time.Duration) {
+			time.Sleep(delay)
+			cancel()
+		}(time.Duration(trial) * time.Millisecond)
+		done := make(chan struct{})
+		var runErr error
+		go func() {
+			_, runErr = RunContext(ctx, g, EngineTCP, &RunOptions{QueueDepth: 2, WireCodec: filter.CodecBinary})
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("pipeline did not stop after cancellation")
+		}
+		if runErr != nil && !errors.Is(runErr, context.Canceled) {
+			t.Fatalf("trial %d: err = %v, want nil or context.Canceled", trial, runErr)
+		}
+	}
+	// All read-ahead workers, filter copies and receive loops must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now, %d before the runs", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPWireCodecEquivalence runs the same disk-backed pipeline on the TCP
+// engine under both wire codecs — with the binary run also using read-ahead
+// — and requires results identical to the local engine's synchronous
+// baseline. This is the tentpole's off-switch contract: codec and read-ahead
+// change only how bytes move, never what arrives.
+func TestTCPWireCodecEquivalence(t *testing.T) {
+	st := testStore(t)
+	run := func(engine Engine, codec filter.Codec, readAhead int) map[features.Feature]*volume.FloatGrid {
+		t.Helper()
+		cfg := testConfig(HMPImpl, core.SparseMatrix, filter.DemandDriven)
+		cfg.ReadAhead = readAhead
+		g, res, _, err := Build(st, cfg, &Layout{
+			SourceNodes: []int{0, 1, 2},
+			HMPNodes:    []int{1, 2},
+			OutputNodes: []int{0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunContext(context.Background(), g, engine, &RunOptions{WireCodec: codec}); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Complete(cfg.Analysis.Features); err != nil {
+			t.Fatal(err)
+		}
+		out := map[features.Feature]*volume.FloatGrid{}
+		for _, f := range cfg.Analysis.Features {
+			out[f] = res.Grid(f)
+		}
+		return out
+	}
+	want := run(EngineLocal, filter.CodecGob, 0)
+	gob := run(EngineTCP, filter.CodecGob, 0)
+	bin := run(EngineTCP, filter.CodecBinary, 4)
+	for f := range want {
+		gridsEqual(t, "tcp-gob/"+f.String(), want[f], gob[f])
+		gridsEqual(t, "tcp-binary/"+f.String(), want[f], bin[f])
+	}
+}
+
+// TestTCPBinaryCodecGobFallback drives an AssembledMsg — deliberately left
+// without a binary encoding — across a real socket under CodecBinary via the
+// JPEG output stage (HIC on one node, JIW on another), exercising the
+// codec's per-message gob fallback end to end.
+func TestTCPBinaryCodecGobFallback(t *testing.T) {
+	st := testStore(t)
+	outDir := t.TempDir()
+	cfg := testConfig(HMPImpl, core.SparseMatrix, filter.DemandDriven)
+	cfg.Output = OutputJPEG
+	cfg.OutDir = outDir
+	g, _, _, err := Build(st, cfg, &Layout{
+		SourceNodes: []int{0, 1, 2},
+		HMPNodes:    []int{1, 2},
+		OutputNodes: []int{0}, // HIC
+		JIWNodes:    []int{2}, // off-node writer: AssembledMsg crosses TCP
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunContext(context.Background(), g, EngineTCP, &RunOptions{WireCodec: filter.CodecBinary}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(outDir, "*.jpg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no JPEG output written through the gob-fallback path")
 	}
 }
 

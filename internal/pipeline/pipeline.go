@@ -84,6 +84,7 @@ type Config struct {
 	Analysis        core.Config
 	ChunkShape      [4]int // IIC-to-TEXTURE chunk voxel shape
 	IOChunk         [2]int // RFR read window; zero reads whole slices
+	ReadAhead       int    // reader I/O windows fetched ahead of the emit loop; 0 = synchronous
 	PacketsPerChunk int    // HCC matrix packets per chunk (default 4)
 	Impl            Impl
 	Policy          filter.Policy // buffer scheduling into texture (and HPC) copies
@@ -169,6 +170,7 @@ func Build(store *dataset.Store, cfg *Config, layout *Layout) (*filter.Graph, *f
 			Chunker:    chunker,
 			GrayLevels: cfg.Analysis.GrayLevels,
 			IOChunk:    cfg.IOChunk,
+			ReadAhead:  cfg.ReadAhead,
 		}),
 		Nodes: srcNodes,
 	})
@@ -218,6 +220,7 @@ func BuildDICOM(study *dicom.Study, cfg *Config, layout *Layout) (*filter.Graph,
 			Study:      study,
 			Chunker:    chunker,
 			GrayLevels: cfg.Analysis.GrayLevels,
+			ReadAhead:  cfg.ReadAhead,
 		}),
 		Nodes: srcNodes,
 	})
@@ -367,6 +370,9 @@ type RunOptions struct {
 	// DisableMetrics turns off the observability layer for the run;
 	// RunStats.Report stays nil.
 	DisableMetrics bool
+	// WireCodec selects the serialization for buffers crossing nodes on the
+	// TCP engine; the zero value keeps the original gob streams.
+	WireCodec filter.Codec
 }
 
 // Run executes a built graph on the selected engine.
@@ -384,7 +390,9 @@ func RunContext(ctx context.Context, g *filter.Graph, engine Engine, opts *RunOp
 	case EngineLocal:
 		return filter.RunLocalContext(ctx, g, &filter.Options{QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics})
 	case EngineTCP:
-		return filter.RunTCPContext(ctx, g, &filter.Options{QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics})
+		return filter.RunTCPContext(ctx, g, &filter.Options{
+			QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics, WireCodec: opts.WireCodec,
+		})
 	case EngineSim:
 		topo := opts.Topology
 		if topo == nil {

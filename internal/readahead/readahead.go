@@ -1,0 +1,163 @@
+// Package readahead provides the bounded, order-preserving prefetch stage
+// the reader filters (RFR, DFR) put in front of their emit loops: a small
+// worker pool runs the per-window fetch function — positioned reads plus
+// uint16→gray-level decode — up to K windows ahead of the consumer, so the
+// disk keeps streaming while pieces are cut and sent. This is the staging
+// idea of Region Templates applied to the paper's §4.3 reader filters.
+//
+// The contract is deliberately strict:
+//
+//   - Order-preserving: Next returns fetch results in exactly the order the
+//     indices 0..n-1 would be fetched sequentially, regardless of which
+//     worker finishes first.
+//   - Bounded: at most depth fetches are completed-but-unconsumed or in
+//     flight at any moment, so window buffers in flight stay O(depth).
+//   - Synchronous degenerate case: depth ≤ 0 runs every fetch inline on the
+//     consumer's goroutine — no worker pool, no reordering window, no extra
+//     buffering — reproducing the pre-readahead reader loop bit for bit.
+//   - Cancellable: Close releases the workers even when the consumer stops
+//     consuming mid-stream (pipeline abort); it is idempotent and safe to
+//     defer alongside normal completion.
+package readahead
+
+import "sync"
+
+// Fetch produces the item for one index. Fetches run concurrently on worker
+// goroutines when depth > 0, so the function must be safe for concurrent
+// calls with distinct indices.
+type Fetch[T any] func(index int) (T, error)
+
+// maxWorkers caps the pool: the point is overlapping a handful of
+// positioned reads with the emit loop, not saturating the CPU.
+const maxWorkers = 4
+
+// Reader streams the results of fetch(0..n-1) in order, prefetching up to
+// depth indices ahead of the consumer.
+type Reader[T any] struct {
+	fetch Fetch[T]
+	n     int
+	depth int
+
+	// Synchronous mode (depth <= 0).
+	next int
+
+	// Asynchronous mode. The dispatcher assigns indices to workers through
+	// jobs and queues each index's result slot into pending in index order;
+	// pending's capacity is the read-ahead bound. Closing done releases
+	// every goroutine wherever it blocks.
+	pending   chan chan result[T]
+	jobs      chan job[T]
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type result[T any] struct {
+	v   T
+	err error
+}
+
+type job[T any] struct {
+	index int
+	out   chan result[T]
+}
+
+// New returns a reader over indices [0, n). depth is the number of indices
+// that may be fetched ahead of the consumer; depth ≤ 0 disables the worker
+// pool and fetches inline from Next.
+func New[T any](fetch Fetch[T], n, depth int) *Reader[T] {
+	r := &Reader[T]{fetch: fetch, n: n, depth: depth}
+	if depth <= 0 {
+		return r
+	}
+	r.pending = make(chan chan result[T], depth)
+	r.jobs = make(chan job[T])
+	r.done = make(chan struct{})
+	workers := min(depth, maxWorkers)
+	r.wg.Add(workers + 1)
+	for w := 0; w < workers; w++ {
+		go r.worker()
+	}
+	go r.dispatch()
+	return r
+}
+
+// dispatch hands indices to the workers in order. The send into pending
+// (capacity depth) is what bounds the number of outstanding fetches: the
+// slot is queued before the job is offered to any worker.
+func (r *Reader[T]) dispatch() {
+	defer r.wg.Done()
+	defer close(r.pending)
+	for i := 0; i < r.n; i++ {
+		out := make(chan result[T], 1)
+		select {
+		case r.pending <- out:
+		case <-r.done:
+			return
+		}
+		select {
+		case r.jobs <- job[T]{index: i, out: out}:
+		case <-r.done:
+			return
+		}
+	}
+}
+
+func (r *Reader[T]) worker() {
+	defer r.wg.Done()
+	for {
+		select {
+		case j := <-r.jobs:
+			v, err := r.fetch(j.index)
+			j.out <- result[T]{v: v, err: err} // buffered; never blocks
+		case <-r.done:
+			return
+		}
+	}
+}
+
+// Next returns the result for the next index in order. ok is false once all
+// n indices have been consumed or the reader has been closed. A fetch error
+// is returned in err with ok still true, so the consumer can distinguish
+// "stream finished" from "stream failed".
+func (r *Reader[T]) Next() (v T, err error, ok bool) {
+	if r.depth <= 0 {
+		if r.next >= r.n {
+			return v, nil, false
+		}
+		v, err = r.fetch(r.next)
+		r.next++
+		return v, err, true
+	}
+	select {
+	case <-r.done: // Close happened-before this Next
+		return v, nil, false
+	default:
+	}
+	select {
+	case out, open := <-r.pending:
+		if !open {
+			return v, nil, false
+		}
+		select {
+		case res := <-out:
+			return res.v, res.err, true
+		case <-r.done:
+			return v, nil, false
+		}
+	case <-r.done:
+		return v, nil, false
+	}
+}
+
+// Close stops the prefetcher and waits for every worker to exit. It is
+// idempotent and must be called even after a complete consumption (defer it)
+// so the goroutines never outlive the filter copy. Fetches already in flight
+// finish before their workers observe the close.
+func (r *Reader[T]) Close() {
+	if r.depth <= 0 {
+		return
+	}
+	r.closeOnce.Do(func() { close(r.done) })
+	r.wg.Wait()
+}

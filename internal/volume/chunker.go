@@ -1,6 +1,9 @@
 package volume
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // OutputDims returns the dimensions of the texture-analysis output for a
 // grid of the given dimensions scanned by an ROI of the given shape: one
@@ -44,6 +47,9 @@ type Chunker struct {
 	ROI        [4]int // ROI shape
 	counts     [4]int // number of chunks along each dimension
 	outDims    [4]int // total ROI origins along each dimension
+
+	sliceOnce  sync.Once
+	sliceTable [][]Chunk // chunks intersecting each (z, t) plane, by t·Z + z
 }
 
 // NewChunker validates the geometry and returns a chunker. ChunkShape must
@@ -125,6 +131,30 @@ func (c *Chunker) Chunks() []Chunk {
 		out[i] = c.Chunk(i)
 	}
 	return out
+}
+
+// SliceChunks returns the chunks whose voxel boxes intersect the 2D slice
+// plane (z, t), in raster order. The reader filters issue one call per I/O
+// window; precomputing the per-plane lists replaces the all-chunks
+// intersection scan each window used to pay (chunks overlap along z and t,
+// so each plane belongs to only a handful of them). The returned slice is
+// shared and must not be modified.
+func (c *Chunker) SliceChunks(z, t int) []Chunk {
+	if z < 0 || z >= c.Dims[2] || t < 0 || t >= c.Dims[3] {
+		panic(fmt.Sprintf("volume: slice (z=%d, t=%d) outside dataset %v", z, t, c.Dims))
+	}
+	c.sliceOnce.Do(func() {
+		c.sliceTable = make([][]Chunk, c.Dims[2]*c.Dims[3])
+		for _, ch := range c.Chunks() {
+			for t := ch.Voxels.Lo[3]; t < ch.Voxels.Hi[3]; t++ {
+				for z := ch.Voxels.Lo[2]; z < ch.Voxels.Hi[2]; z++ {
+					i := t*c.Dims[2] + z
+					c.sliceTable[i] = append(c.sliceTable[i], ch)
+				}
+			}
+		}
+	})
+	return c.sliceTable[t*c.Dims[2]+z]
 }
 
 // OwnerOf returns the linear index of the chunk owning the given ROI

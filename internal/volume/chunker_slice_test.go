@@ -1,0 +1,75 @@
+package volume
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSliceChunksMatchesBruteForce checks the precomputed per-(z, t) lists
+// against intersecting every chunk with every slice plane, over geometries
+// with and without clipped boundary chunks.
+func TestSliceChunksMatchesBruteForce(t *testing.T) {
+	cases := []struct{ dims, chunk, roi [4]int }{
+		{[4]int{16, 16, 8, 8}, [4]int{16, 16, 4, 4}, [4]int{3, 3, 2, 2}},
+		{[4]int{10, 12, 7, 5}, [4]int{6, 7, 4, 3}, [4]int{3, 4, 2, 2}},
+		{[4]int{8, 8, 3, 3}, [4]int{8, 8, 3, 3}, [4]int{2, 2, 1, 1}},
+		{[4]int{9, 9, 6, 4}, [4]int{5, 5, 3, 2}, [4]int{2, 2, 2, 1}},
+	}
+	for _, tc := range cases {
+		c, err := NewChunker(tc.dims, tc.chunk, tc.roi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks := c.Chunks()
+		for z := 0; z < tc.dims[2]; z++ {
+			for tt := 0; tt < tc.dims[3]; tt++ {
+				plane := Box{
+					Lo: [4]int{0, 0, z, tt},
+					Hi: [4]int{tc.dims[0], tc.dims[1], z + 1, tt + 1},
+				}
+				var want []int
+				for _, ch := range chunks {
+					if _, ok := ch.Voxels.Intersect(plane); ok {
+						want = append(want, ch.Index)
+					}
+				}
+				got := c.SliceChunks(z, tt)
+				if len(got) != len(want) {
+					t.Fatalf("dims %v (z=%d, t=%d): %d chunks, want %d", tc.dims, z, tt, len(got), len(want))
+				}
+				for i, ch := range got {
+					if ch.Index != want[i] {
+						t.Fatalf("dims %v (z=%d, t=%d) entry %d: chunk %d, want %d", tc.dims, z, tt, i, ch.Index, want[i])
+					}
+				}
+				if len(got) == 0 {
+					t.Fatalf("dims %v (z=%d, t=%d): no intersecting chunks", tc.dims, z, tt)
+				}
+			}
+		}
+	}
+}
+
+// TestSliceChunksConcurrent exercises the lazy table build from parallel
+// readers (one RFR copy per storage node shares the chunker). Run with -race.
+func TestSliceChunksConcurrent(t *testing.T) {
+	c, err := NewChunker([4]int{16, 16, 6, 6}, [4]int{16, 16, 4, 4}, [4]int{3, 3, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for z := 0; z < 6; z++ {
+				for tt := 0; tt < 6; tt++ {
+					if len(c.SliceChunks(z, tt)) == 0 {
+						t.Errorf("no chunks for (z=%d, t=%d)", z, tt)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

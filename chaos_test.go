@@ -1,0 +1,132 @@
+package haralick4d
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"haralick4d/internal/dataset"
+)
+
+// chaosDims gives 48 slices across four default chunks, so a single lost
+// slice degrades one chunk and leaves three intact for the oracle check.
+var chaosDims = [4]int{24, 24, 6, 8}
+
+// chaosDataset writes a phantom study and, when corrupt is set, damages one
+// slice file (a byte flip only the checksum catches), returning the dataset
+// directory and the damaged slice ids.
+func chaosDataset(t *testing.T, corrupt bool) (string, []int) {
+	t.Helper()
+	dir := t.TempDir()
+	v := GeneratePhantom(PhantomConfig{Dims: chaosDims, Seed: 11})
+	if err := WriteDataset(dir, v, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !corrupt {
+		return dir, nil
+	}
+	damaged, err := dataset.CorruptSlices(dir, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for _, f := range damaged {
+		var tt, z int
+		if _, err := fmt.Sscanf(filepath.Base(f), "slice_t%04d_z%04d.raw", &tt, &z); err != nil {
+			t.Fatalf("damaged file %q: %v", f, err)
+		}
+		ids = append(ids, tt*chaosDims[2]+z)
+	}
+	sort.Ints(ids)
+	return dir, ids
+}
+
+func TestAnalyzeDatasetFailFastOnCorruption(t *testing.T) {
+	dir, _ := chaosDataset(t, true)
+	// FailFast is the zero value: any damaged slice aborts the run.
+	_, err := AnalyzeDataset(dir, smallOpts(3))
+	if !errors.Is(err, ErrDegradedData) {
+		t.Fatalf("fail-fast err = %v, want ErrDegradedData", err)
+	}
+}
+
+func TestAnalyzeDatasetSkipDegraded(t *testing.T) {
+	cleanDir, _ := chaosDataset(t, false)
+	ref, err := AnalyzeDataset(cleanDir, smallOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, wantSlices := chaosDataset(t, true)
+	opts := smallOpts(3)
+	opts.ReadAhead = 2
+	opts.FaultPolicy = SkipDegraded
+	res, err := AnalyzeDataset(dir, opts)
+	if err != nil {
+		t.Fatalf("skip-degraded run: %v", err)
+	}
+	d := res.Degraded
+	if d == nil {
+		t.Fatal("Result.Degraded not populated")
+	}
+	if !reflect.DeepEqual(d.Slices, wantSlices) {
+		t.Errorf("degraded slices = %v, want %v", d.Slices, wantSlices)
+	}
+	if d.Chunks != len(d.ROIs) || d.Chunks == 0 {
+		t.Errorf("degraded chunks = %d with %d ROIs", d.Chunks, len(d.ROIs))
+	}
+	sum := 0
+	for _, roi := range d.ROIs {
+		n := 1
+		for k := 0; k < 4; k++ {
+			n *= roi[1][k] - roi[0][k]
+		}
+		sum += n
+	}
+	total := res.OutputDims[0] * res.OutputDims[1] * res.OutputDims[2] * res.OutputDims[3]
+	if d.Voxels != sum || d.Voxels <= 0 || d.Voxels >= total {
+		t.Fatalf("degraded voxels = %d (ROIs sum %d, grid total %d), want a proper subset", d.Voxels, sum, total)
+	}
+	inROI := func(x, y, z, tt int) bool {
+		p := [4]int{x, y, z, tt}
+		for _, roi := range d.ROIs {
+			inside := true
+			for k := 0; k < 4; k++ {
+				if p[k] < roi[0][k] || p[k] >= roi[1][k] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				return true
+			}
+		}
+		return false
+	}
+	// Outside the reported ROIs the output must be bit-identical to the
+	// clean run; inside it must stay unwritten.
+	for _, f := range PaperFeatures() {
+		got, want := res.Grids[f], ref.Grids[f]
+		if got == nil {
+			t.Fatalf("%v: grid missing", f)
+		}
+		for tt := 0; tt < res.OutputDims[3]; tt++ {
+			for z := 0; z < res.OutputDims[2]; z++ {
+				for y := 0; y < res.OutputDims[1]; y++ {
+					for x := 0; x < res.OutputDims[0]; x++ {
+						g, w := got.At(x, y, z, tt), want.At(x, y, z, tt)
+						if inROI(x, y, z, tt) {
+							if g != 0 {
+								t.Fatalf("%v: degraded voxel (%d,%d,%d,%d) written: %v", f, x, y, z, tt, g)
+							}
+						} else if g != w {
+							t.Fatalf("%v: clean voxel (%d,%d,%d,%d) = %v, want %v", f, x, y, z, tt, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}

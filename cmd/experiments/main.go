@@ -23,6 +23,19 @@ import (
 	"haralick4d/internal/metrics"
 )
 
+// validateCountFlags rejects the negative values the flag package happily
+// parses; 0 keeps each flag's documented meaning (synchronous reads, all
+// CPUs).
+func validateCountFlags(readAhead, kernelWorkers int) error {
+	if readAhead < 0 {
+		return fmt.Errorf("-readahead must be >= 0, got %d", readAhead)
+	}
+	if kernelWorkers < 0 {
+		return fmt.Errorf("-kernel-workers must be >= 0, got %d", kernelWorkers)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		fig      = flag.String("fig", "", "figure id: 7a, 7b, 8, 9, 10, 11, density, zeroskip, iic, dirs, chunk, decluster, kernel (default: all)")
@@ -38,6 +51,11 @@ func main() {
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
+	if err := validateCountFlags(*rdAhead, *kworkers); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *pprofAt != "" {
 		go func() {

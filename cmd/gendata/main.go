@@ -28,6 +28,9 @@ func main() {
 		noise  = flag.Float64("noise", 8, "acquisition noise sigma")
 		format = flag.String("format", "raw", "on-disk format: raw (paper layout) or dicom")
 		distS  = flag.String("dist", "round-robin", "raw declustering policy: round-robin, block, slice-mod")
+
+		corruptFrac = flag.Float64("corrupt-frac", 0, "after writing, damage this fraction of slice files (raw format only; byte flips, truncations and deletions cycled deterministically) for fault-tolerance testing")
+		corruptSeed = flag.Int64("corrupt-seed", 1, "seed selecting which slices -corrupt-frac damages")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -38,6 +41,14 @@ func main() {
 	var d [4]int
 	if _, err := fmt.Sscanf(*dims, "%dx%dx%dx%d", &d[0], &d[1], &d[2], &d[3]); err != nil {
 		fmt.Fprintf(os.Stderr, "gendata: invalid -dims %q: %v\n", *dims, err)
+		os.Exit(2)
+	}
+	if *corruptFrac < 0 || *corruptFrac > 1 {
+		fmt.Fprintf(os.Stderr, "gendata: -corrupt-frac %v outside [0, 1]\n", *corruptFrac)
+		os.Exit(2)
+	}
+	if *corruptFrac > 0 && *format != "raw" {
+		fmt.Fprintln(os.Stderr, "gendata: -corrupt-frac only supports -format raw")
 		os.Exit(2)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -65,6 +76,17 @@ func main() {
 		}
 		fmt.Printf("wrote %d raw slices across %d storage nodes under %s (intensity range [%d, %d])\n",
 			d[2]*d[3], meta.Nodes, *out, meta.Min, meta.Max)
+		if *corruptFrac > 0 {
+			damaged, err := dataset.CorruptSlices(*out, *corruptFrac, *corruptSeed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("corrupted %d slice files (seed %d):\n", len(damaged), *corruptSeed)
+			for _, f := range damaged {
+				fmt.Printf("  %s\n", f)
+			}
+		}
 	case "dicom":
 		if err := dicom.WriteStudy(*out, v, *nodes); err != nil {
 			fmt.Fprintf(os.Stderr, "gendata: %v\n", err)

@@ -27,6 +27,7 @@ import (
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
 	"haralick4d/internal/dicom"
+	"haralick4d/internal/fault"
 	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/filters"
@@ -52,6 +53,19 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
+// validateCountFlags rejects the negative values the flag package happily
+// parses; 0 keeps each flag's documented meaning (synchronous reads, all
+// CPUs).
+func validateCountFlags(readAhead, kernelWorkers int) error {
+	if readAhead < 0 {
+		return fmt.Errorf("-readahead must be >= 0, got %d", readAhead)
+	}
+	if kernelWorkers < 0 {
+		return fmt.Errorf("-kernel-workers must be >= 0, got %d", kernelWorkers)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		data     = flag.String("data", "", "dataset directory (required; see cmd/gendata)")
@@ -65,6 +79,8 @@ func main() {
 		engineS  = flag.String("engine", "local", "execution engine: local, tcp, sim")
 		rdAhead  = flag.Int("readahead", 4, "I/O windows the dataset readers fetch ahead of the pipeline (0 = synchronous reads)")
 		codecS   = flag.String("wire-codec", "binary", "TCP wire codec: binary or gob")
+		retryS   = flag.String("retry", "", "TCP link retry policy \"attempts[,base[,max]]\", e.g. \"5,10ms,1s\" (empty = single-shot sends)")
+		faultS   = flag.String("fault-policy", "fail-fast", "degraded-slice handling: fail-fast or skip-degraded")
 		texture  = flag.Int("texture", 4, "texture filter copies (HMP, or HCC+HPC pairs for split)")
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers per texture filter copy (0 = all CPUs, 1 = sequential reference kernel)")
 		iic      = flag.Int("iic", 1, "explicit IIC copies")
@@ -104,8 +120,18 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if *rdAhead < 0 {
-		fail("-readahead must be >= 0")
+	retry, err := filter.ParseRetry(*retryS)
+	if err != nil {
+		fail("%v", err)
+	}
+	faultPolicy, err := fault.ParsePolicy(*faultS)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := validateCountFlags(*rdAhead, *kworkers); err != nil {
+		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 	var roi [4]int
 	if _, err := fmt.Sscanf(*roiS, "%dx%dx%dx%d", &roi[0], &roi[1], &roi[2], &roi[3]); err != nil {
@@ -212,6 +238,7 @@ func main() {
 		}
 	}
 	cfg.ReadAhead = *rdAhead
+	cfg.FaultPolicy = faultPolicy
 	if cfg.Output != pipeline.OutputCollect {
 		if cfg.OutDir == "" {
 			fail("an output directory is required (use -out)")
@@ -238,7 +265,11 @@ func main() {
 		dims, cfg.Analysis.ROI, cfg.Analysis.GrayLevels, cfg.Impl, cfg.Analysis.Representation, cfg.Policy, engine)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	rs, err := pipeline.RunContext(ctx, g, engine, &pipeline.RunOptions{WireCodec: codec})
+	rs, err := pipeline.RunContext(ctx, g, engine, &pipeline.RunOptions{
+		WireCodec: codec,
+		Retry:     retry,
+		Failover:  faultPolicy == fault.SkipDegraded,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -266,6 +297,10 @@ func main() {
 		}
 	}
 	if sink != nil {
+		if slices, rois, voxels := sink.Degraded(); voxels > 0 {
+			fmt.Printf("degraded: skipped %d slices poisoning %d chunks (%d output voxels left zero); lost slice ids %v\n",
+				len(slices), len(rois), voxels, slices)
+		}
 		fmt.Println("results collected in memory (use -format jpeg or uso to persist)")
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
+	"haralick4d/internal/fault"
 	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/metrics"
@@ -131,6 +132,19 @@ type Options struct {
 	// decode ahead of the pipeline (AnalyzeDataset only). 0 — the default —
 	// reads synchronously; any depth produces bit-identical outputs.
 	ReadAhead int
+	// FaultPolicy selects how AnalyzeDataset handles degraded slices —
+	// checksum mismatches, truncated or missing files. FailFast (the zero
+	// value) aborts with an error matching ErrDegradedData; SkipDegraded
+	// completes the healthy remainder of the dataset, leaves the affected
+	// output voxels zero and reports them in Result.Degraded. SkipDegraded
+	// also enables copy failover in the runtime so a crashed filter copy
+	// degrades the run instead of killing it.
+	FaultPolicy FaultPolicy
+	// Retry bounds reconnect-and-retransmit on engines with real transport
+	// faults. The local engine AnalyzeDataset uses has none, so this is
+	// carried for callers driving the TCP engine through the pipeline
+	// package; nil keeps single-shot sends.
+	Retry *RetryPolicy
 }
 
 // Validate checks the options and reports the first problem — the same
@@ -166,6 +180,46 @@ func (o *Options) workers() int {
 	return o.Parallelism
 }
 
+// FaultPolicy selects how dataset-level faults are handled (see
+// Options.FaultPolicy).
+type FaultPolicy = fault.Policy
+
+// The two fault policies.
+const (
+	// FailFast aborts the analysis on the first degraded slice (default).
+	FailFast = fault.FailFast
+	// SkipDegraded completes the healthy remainder and reports the damage.
+	SkipDegraded = fault.SkipDegraded
+)
+
+// RetryPolicy bounds transport retries (see internal/filter.RetryPolicy).
+type RetryPolicy = filter.RetryPolicy
+
+// Typed failures an analysis can return; match with errors.Is.
+var (
+	// ErrDegradedData marks per-slice data failures: checksum mismatch,
+	// truncation, missing file.
+	ErrDegradedData = dataset.ErrDegradedData
+	// ErrCopyFailed marks a filter-copy crash the runtime could not absorb.
+	ErrCopyFailed = filter.ErrCopyFailed
+	// ErrAllCopiesDead marks the terminal failover state: every copy of a
+	// filter has crashed.
+	ErrAllCopiesDead = filter.ErrAllCopiesDead
+)
+
+// DegradedSummary reports what a SkipDegraded analysis had to drop.
+type DegradedSummary struct {
+	// Slices are the global slice ids (t·Z + z) that failed to read, sorted.
+	Slices []int
+	// Chunks is the number of texture chunks poisoned by those slices.
+	Chunks int
+	// ROIs are the [Lo, Hi) output boxes left zero, one per degraded chunk
+	// in chunk order.
+	ROIs [][2][4]int
+	// Voxels is the total output voxel count left zero per feature.
+	Voxels int
+}
+
 // RunReport is the structured observability report of one analysis run:
 // per-filter busy/blocked/stalled times and span decompositions (read,
 // assemble, compute, emit, write), per-stream traffic, network activity
@@ -186,6 +240,9 @@ type Result struct {
 	// report a single SEQ pseudo-filter with the whole scan as one
 	// compute span.
 	Report *RunReport
+	// Degraded summarizes data a SkipDegraded run skipped; nil when the run
+	// was clean (and always nil under FailFast, which errors instead).
+	Degraded *DegradedSummary
 }
 
 // Analyze runs 4D Haralick texture analysis over an in-memory volume: the
@@ -315,14 +372,21 @@ func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Res
 	}
 	if opts != nil {
 		pcfg.ReadAhead = opts.ReadAhead
+		pcfg.FaultPolicy = opts.FaultPolicy
 	}
 	layout := &pipeline.Layout{HMPNodes: make([]int, opts.workers())}
 	g, sink, outDims, err := pipeline.Build(st, pcfg, layout)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := pipeline.RunContext(ctx, g, pipeline.EngineLocal,
-		&pipeline.RunOptions{DisableMetrics: opts != nil && opts.DisableMetrics})
+	ropts := &pipeline.RunOptions{DisableMetrics: opts != nil && opts.DisableMetrics}
+	if opts != nil {
+		// SkipDegraded asks for a run that survives faults, so crashed
+		// copies fail over to survivors instead of aborting.
+		ropts.Failover = opts.FaultPolicy == SkipDegraded
+		ropts.Retry = opts.Retry
+	}
+	rs, err := pipeline.RunContext(ctx, g, pipeline.EngineLocal, ropts)
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +396,14 @@ func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Res
 	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims, Report: rs.Report}
 	for _, f := range cfg.Features {
 		res.Grids[f] = sink.Grid(f)
+	}
+	if slices, rois, voxels := sink.Degraded(); voxels > 0 {
+		sum := &DegradedSummary{Slices: slices, Chunks: len(rois), Voxels: voxels}
+		sum.ROIs = make([][2][4]int, len(rois))
+		for i, b := range rois {
+			sum.ROIs[i] = [2][4]int{b.Lo, b.Hi}
+		}
+		res.Degraded = sum
 	}
 	return res, nil
 }

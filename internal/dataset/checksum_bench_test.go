@@ -1,0 +1,51 @@
+package dataset
+
+import "testing"
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	v := randomVolume(21, [4]int{256, 256, 4, 2})
+	dir := b.TempDir()
+	if _, err := Write(dir, v, 1); err != nil {
+		b.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// Benchmarks verified vs unverified whole-slice reads to bound the CRC cost.
+func BenchmarkReadSliceVerified(b *testing.B) {
+	st := benchStore(b)
+	refs, err := st.NodeIndex(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]uint16, 256*256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.ReadSliceInto(0, refs[i%len(refs)], out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadSliceUnverified(b *testing.B) {
+	st := benchStore(b)
+	refs, err := st.NodeIndex(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range refs {
+		refs[i].HasCRC = false
+	}
+	out := make([]uint16, 256*256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.ReadSliceInto(0, refs[i%len(refs)], out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

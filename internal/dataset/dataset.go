@@ -21,11 +21,15 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"haralick4d/internal/volume"
@@ -33,6 +37,23 @@ import (
 
 // FormatVersion identifies the on-disk format.
 const FormatVersion = 1
+
+// ErrDegradedData marks per-slice data failures — a missing, truncated,
+// short-read or checksum-mismatched slice file. Callers (the reader filters
+// under fault.SkipDegraded) classify with errors.Is and skip the slice
+// instead of aborting; argument-validation errors (wrong buffer size, region
+// out of bounds) are never marked degraded.
+var ErrDegradedData = errors.New("dataset: degraded data")
+
+// degradedf builds an ErrDegradedData-wrapped error; format may itself
+// contain a %w for the underlying cause.
+func degradedf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrDegradedData}, args...)...)
+}
+
+// castagnoli is the CRC-32C table used for the per-slice checksums (the
+// polynomial with hardware support on current CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Distribution selects how 2D slices are declustered across storage nodes.
 // The paper uses round-robin because "common analysis queries specify entire
@@ -90,12 +111,21 @@ type Meta struct {
 	Min     uint16       `json:"min"`
 	Max     uint16       `json:"max"`
 	Dist    Distribution `json:"dist,omitempty"`
+	// Checksums records that the index files carry per-slice CRC-32C
+	// checksums (the optional fourth index column). Datasets written before
+	// checksums existed read fine: the field is absent and whole-slice reads
+	// simply skip verification.
+	Checksums bool `json:"checksums,omitempty"`
 }
 
 // SliceRef locates one 2D image slice within a storage node.
 type SliceRef struct {
 	File string // file name relative to the node directory
 	T, Z int
+	// CRC is the CRC-32C of the slice file's raw bytes; HasCRC tells a
+	// checksum of zero apart from a pre-checksum index line.
+	CRC    uint32
+	HasCRC bool
 }
 
 // SliceID returns the global linear id of the slice, t·Z + z — the order in
@@ -138,7 +168,7 @@ func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution
 		return nil, fmt.Errorf("dataset: invalid distribution %d", int(dist))
 	}
 	lo, hi := v.MinMax()
-	meta := &Meta{Version: FormatVersion, Dims: v.Dims, Nodes: nodes, Min: lo, Max: hi, Dist: dist}
+	meta := &Meta{Version: FormatVersion, Dims: v.Dims, Nodes: nodes, Min: lo, Max: hi, Dist: dist, Checksums: true}
 
 	indexes := make([][]SliceRef, nodes)
 	for node := 0; node < nodes; node++ {
@@ -156,6 +186,7 @@ func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution
 			for i, val := range sl {
 				binary.LittleEndian.PutUint16(buf[2*i:], val)
 			}
+			ref.CRC, ref.HasCRC = crc32.Checksum(buf, castagnoli), true
 			path := filepath.Join(dir, nodeDirName(node), ref.File)
 			if err := os.WriteFile(path, buf, 0o644); err != nil {
 				return nil, fmt.Errorf("dataset: writing slice: %w", err)
@@ -185,7 +216,11 @@ func writeIndex(path string, refs []SliceRef) error {
 	}
 	w := bufio.NewWriter(f)
 	for _, r := range refs {
-		fmt.Fprintf(w, "%s %d %d\n", r.File, r.T, r.Z)
+		if r.HasCRC {
+			fmt.Fprintf(w, "%s %d %d %08x\n", r.File, r.T, r.Z, r.CRC)
+		} else {
+			fmt.Fprintf(w, "%s %d %d\n", r.File, r.T, r.Z)
+		}
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -238,9 +273,25 @@ func (s *Store) NodeIndex(node int) ([]SliceRef, error) {
 	line := 0
 	for sc.Scan() {
 		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("dataset: node %d index line %d: want 3 or 4 fields, got %d", node, line, len(fields))
+		}
 		var r SliceRef
-		if _, err := fmt.Sscanf(sc.Text(), "%s %d %d", &r.File, &r.T, &r.Z); err != nil {
+		r.File = fields[0]
+		var err error
+		if r.T, err = strconv.Atoi(fields[1]); err != nil {
 			return nil, fmt.Errorf("dataset: node %d index line %d: %w", node, line, err)
+		}
+		if r.Z, err = strconv.Atoi(fields[2]); err != nil {
+			return nil, fmt.Errorf("dataset: node %d index line %d: %w", node, line, err)
+		}
+		if len(fields) == 4 {
+			crc, err := strconv.ParseUint(fields[3], 16, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: node %d index line %d: bad checksum: %w", node, line, err)
+			}
+			r.CRC, r.HasCRC = uint32(crc), true
 		}
 		if r.T < 0 || r.T >= s.Meta.Dims[3] || r.Z < 0 || r.Z >= s.Meta.Dims[2] {
 			return nil, fmt.Errorf("dataset: node %d index line %d: slice (z=%d, t=%d) out of range", node, line, r.Z, r.T)
@@ -310,6 +361,13 @@ func (s *Store) ReadSlice(node int, ref SliceRef) ([]uint16, error) {
 // ReadSliceInto is ReadSlice decoding into the caller's X·Y-value buffer, so
 // a streaming reader reuses one buffer per window instead of allocating the
 // raw file plus the output on every call.
+//
+// When ref carries a checksum (datasets written with Meta.Checksums), the
+// file's bytes are verified against it, so silent bit corruption surfaces as
+// an ErrDegradedData-wrapped error — as do missing, truncated and
+// short-read slices. Note that only whole-slice reads verify checksums; the
+// positioned row reads of ReadSliceRegionInto detect truncation but not
+// bit flips.
 func (s *Store) ReadSliceInto(node int, ref SliceRef, out []uint16) error {
 	X, Y := s.Meta.Dims[0], s.Meta.Dims[1]
 	if len(out) != X*Y {
@@ -317,20 +375,25 @@ func (s *Store) ReadSliceInto(node int, ref SliceRef, out []uint16) error {
 	}
 	f, err := os.Open(filepath.Join(s.NodeDir(node), ref.File))
 	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
+		return degradedf("slice %s: %w", ref.File, err)
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
+		return degradedf("slice %s: %w", ref.File, err)
 	}
 	if st.Size() != int64(2*X*Y) {
-		return fmt.Errorf("dataset: slice %s has %d bytes, want %d", ref.File, st.Size(), 2*X*Y)
+		return degradedf("slice %s has %d bytes, want %d", ref.File, st.Size(), 2*X*Y)
 	}
 	raw := getRawBuf(2 * X * Y)
 	defer putRawBuf(raw)
 	if _, err := io.ReadFull(f, raw); err != nil {
-		return fmt.Errorf("dataset: reading %s: %w", ref.File, err)
+		return degradedf("reading %s: %w", ref.File, err)
+	}
+	if ref.HasCRC {
+		if got := crc32.Checksum(raw, castagnoli); got != ref.CRC {
+			return degradedf("slice %s checksum mismatch: got %08x, want %08x", ref.File, got, ref.CRC)
+		}
 	}
 	DecodeUint16s(out, raw)
 	return nil
@@ -364,7 +427,7 @@ func (s *Store) ReadSliceRegionInto(node int, ref SliceRef, x0, x1, y0, y1 int, 
 	}
 	f, err := os.Open(filepath.Join(s.NodeDir(node), ref.File))
 	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
+		return degradedf("slice %s: %w", ref.File, err)
 	}
 	defer f.Close()
 	row := getRawBuf(2 * w)
@@ -375,7 +438,7 @@ func (s *Store) ReadSliceRegionInto(node int, ref SliceRef, x0, x1, y0, y1 int, 
 		// fewer than len(row) bytes, so a truncated slice file surfaces here
 		// instead of yielding silently zeroed rows.
 		if n, err := f.ReadAt(row, off); err != nil {
-			return fmt.Errorf("dataset: slice %s row %d: read %d of %d bytes at offset %d: %w",
+			return degradedf("slice %s row %d: read %d of %d bytes at offset %d: %w",
 				ref.File, y, n, len(row), off, err)
 		}
 		DecodeUint16s(out[(y-y0)*w:(y-y0+1)*w], row)

@@ -1,0 +1,207 @@
+// Package fault provides deterministic, seedable fault injection for the
+// filter-stream runtime's chaos tests: flaky/partial net.Conn wrappers for
+// the TCP transport, corrupt/truncated/slow io.ReaderAt wrappers for the I/O
+// layer, crash-at-Nth-buffer filter copies for the failover scheduler, and
+// the degraded-read Policy shared by the reader filters and the façade.
+//
+// Every injector is deterministic given its construction parameters, so a
+// chaos run with a fixed seed reproduces bit-identically under -race and in
+// CI.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"haralick4d/internal/filter"
+)
+
+// Policy selects how the pipeline reacts to degraded data — corrupt,
+// truncated or missing slices detected by the dataset store's checksums and
+// size checks.
+type Policy int
+
+const (
+	// FailFast aborts the run on the first degraded slice (the default; the
+	// original behaviour).
+	FailFast Policy = iota
+	// SkipDegraded drops the affected chunks, completes the run over the
+	// readable remainder, and reports the skipped slices and output regions
+	// in the result's degraded summary.
+	SkipDegraded
+)
+
+// String returns the policy's flag name.
+func (p Policy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case SkipDegraded:
+		return "skip-degraded"
+	}
+	return fmt.Sprintf("fault-policy(%d)", int(p))
+}
+
+// ParsePolicy is the inverse of String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fail-fast":
+		return FailFast, nil
+	case "skip-degraded", "skip":
+		return SkipDegraded, nil
+	}
+	return 0, fmt.Errorf("fault: unknown fault policy %q", s)
+}
+
+// ErrInjected marks every failure produced by this package's injectors, so
+// tests can tell an injected fault from a genuine one.
+var ErrInjected = errors.New("fault: injected failure")
+
+// FlakyConn wraps a net.Conn so its FailAt-th write fails after Partial
+// bytes, and every later write fails immediately — a socket that broke and
+// stays broken, forcing the sender to redial. Reads pass through until the
+// connection breaks, after which they fail too (the peer would see a reset).
+type FlakyConn struct {
+	net.Conn
+	// FailAt is the 1-based write call that fails; 0 never fails.
+	FailAt int
+	// Partial is how many bytes of the failing write reach the wire before
+	// the error — exercising torn-frame recovery on the receiver.
+	Partial int
+
+	mu     sync.Mutex
+	writes int
+	broken bool
+}
+
+// Write implements net.Conn.
+func (f *FlakyConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	if f.broken {
+		f.mu.Unlock()
+		return 0, fmt.Errorf("write on broken conn: %w", ErrInjected)
+	}
+	f.writes++
+	inject := f.FailAt > 0 && f.writes == f.FailAt
+	if inject {
+		f.broken = true
+	}
+	f.mu.Unlock()
+	if !inject {
+		return f.Conn.Write(p)
+	}
+	n := 0
+	if f.Partial > 0 {
+		cut := f.Partial
+		if cut > len(p) {
+			cut = len(p)
+		}
+		n, _ = f.Conn.Write(p[:cut])
+	}
+	f.Conn.Close() // the peer observes the break too
+	return n, fmt.Errorf("write %d: %w", f.writes, ErrInjected)
+}
+
+// Broken reports whether the injected failure has fired.
+func (f *FlakyConn) Broken() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.broken
+}
+
+// CorruptReaderAt flips the byte at offset Off (XORed with Mask) in
+// everything read through it — a silent single-byte disk corruption that
+// only a checksum catches.
+type CorruptReaderAt struct {
+	R    io.ReaderAt
+	Off  int64
+	Mask byte // 0 selects 0xFF (full inversion)
+}
+
+// ReadAt implements io.ReaderAt.
+func (c *CorruptReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.R.ReadAt(p, off)
+	if i := c.Off - off; i >= 0 && i < int64(n) {
+		mask := c.Mask
+		if mask == 0 {
+			mask = 0xFF
+		}
+		p[i] ^= mask
+	}
+	return n, err
+}
+
+// TruncatedReaderAt behaves as if the underlying data ends at N bytes: reads
+// past the cut return io.EOF with a partial (or empty) result.
+type TruncatedReaderAt struct {
+	R io.ReaderAt
+	N int64
+}
+
+// ReadAt implements io.ReaderAt.
+func (t *TruncatedReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= t.N {
+		return 0, io.EOF
+	}
+	if max := t.N - off; int64(len(p)) > max {
+		n, err := t.R.ReadAt(p[:max], off)
+		if err == nil {
+			err = io.EOF
+		}
+		return n, err
+	}
+	return t.R.ReadAt(p, off)
+}
+
+// SlowReaderAt delays every read by Delay — a straggling disk for
+// read-ahead and timeout tests. It injects latency, never errors.
+type SlowReaderAt struct {
+	R     io.ReaderAt
+	Delay time.Duration
+}
+
+// ReadAt implements io.ReaderAt.
+func (s *SlowReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(s.Delay)
+	return s.R.ReadAt(p, off)
+}
+
+// CrashAfter wraps a filter factory so that copy crashCopy panics
+// immediately after receiving its n-th buffer — while the buffer is still
+// un-acked and in flight, which is exactly what the failover scheduler must
+// redeliver to a surviving copy. Other copies are returned unwrapped.
+func CrashAfter(factory func(int) filter.Filter, crashCopy, n int) func(int) filter.Filter {
+	return func(copy int) filter.Filter {
+		f := factory(copy)
+		if copy != crashCopy {
+			return f
+		}
+		return filter.Func(func(ctx filter.Context) error {
+			return f.Run(&crashCtx{Context: ctx, at: n})
+		})
+	}
+}
+
+// crashCtx counts received buffers and panics on the at-th one.
+type crashCtx struct {
+	filter.Context
+	at   int
+	seen int
+}
+
+// Recv implements filter.Context.
+func (c *crashCtx) Recv() (filter.Msg, bool) {
+	m, ok := c.Context.Recv()
+	if ok {
+		c.seen++
+		if c.seen >= c.at {
+			panic(fmt.Sprintf("fault: injected crash of %s[%d] holding buffer %d",
+				c.FilterName(), c.CopyIndex(), c.seen))
+		}
+	}
+	return m, ok
+}

@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"haralick4d/internal/filter"
+)
+
+func TestPolicyParseRoundTrip(t *testing.T) {
+	for _, p := range []Policy{FailFast, SkipDegraded} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: %v, %v", p, got, err)
+		}
+	}
+	if p, err := ParsePolicy("skip"); err != nil || p != SkipDegraded {
+		t.Error("skip alias broken")
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+// drained returns a net.Pipe endpoint whose peer discards everything, so
+// writes never block.
+func drained(t *testing.T) net.Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	go io.Copy(io.Discard, b)
+	return a
+}
+
+func TestFlakyConn(t *testing.T) {
+	fc := &FlakyConn{Conn: drained(t), FailAt: 2, Partial: 3}
+	if n, err := fc.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("first write: %d, %v", n, err)
+	}
+	if fc.Broken() {
+		t.Fatal("broken before FailAt")
+	}
+	n, err := fc.Write([]byte("world!"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("partial write delivered %d bytes, want 3", n)
+	}
+	if !fc.Broken() {
+		t.Fatal("not broken after FailAt")
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write on broken conn err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFlakyConnNeverFails(t *testing.T) {
+	fc := &FlakyConn{Conn: drained(t)}
+	for i := 0; i < 10; i++ {
+		if _, err := fc.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if fc.Broken() {
+		t.Fatal("FailAt 0 broke")
+	}
+}
+
+func TestCorruptReaderAt(t *testing.T) {
+	r := &CorruptReaderAt{R: strings.NewReader("abcdef"), Off: 2}
+	buf := make([]byte, 6)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf[2] != 'c'^0xFF || buf[0] != 'a' || buf[3] != 'd' {
+		t.Fatalf("corrupted read = %q", buf)
+	}
+	// A read window not covering Off is untouched.
+	if _, err := r.ReadAt(buf[:2], 3); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:2]) != "de" {
+		t.Fatalf("clean window = %q", buf[:2])
+	}
+}
+
+func TestTruncatedReaderAt(t *testing.T) {
+	r := &TruncatedReaderAt{R: strings.NewReader("abcdef"), N: 4}
+	buf := make([]byte, 6)
+	n, err := r.ReadAt(buf, 0)
+	if n != 4 || err != io.EOF {
+		t.Fatalf("read across cut: %d, %v", n, err)
+	}
+	if n, err := r.ReadAt(buf, 5); n != 0 || err != io.EOF {
+		t.Fatalf("read past cut: %d, %v", n, err)
+	}
+	if n, err := r.ReadAt(buf[:2], 1); n != 2 || err != nil {
+		t.Fatalf("read inside cut: %d, %v", n, err)
+	}
+}
+
+// intMsg is a trivial payload for runtime chaos tests.
+type intMsg int
+
+func (intMsg) SizeBytes() int { return 8 }
+
+func init() { gob.Register(intMsg(0)) }
+
+// chaosGraph wires source(n) → work (3 copies, factory wrapped by the
+// caller) → a shared-slice sink.
+func chaosGraph(n int, workFactory func(int) filter.Filter, workNodes []int) (*filter.Graph, func() []int) {
+	g := filter.NewGraph()
+	g.AddFilter(filter.FilterSpec{Name: "src", Copies: 1, New: func(int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			for i := 0; i < n; i++ {
+				if err := ctx.Send("out", intMsg(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}})
+	g.AddFilter(filter.FilterSpec{Name: "work", Copies: 3, New: workFactory, Nodes: workNodes})
+	var mu sync.Mutex
+	var got []int
+	g.AddFilter(filter.FilterSpec{Name: "sink", Copies: 1, New: func(int) filter.Filter {
+		return filter.Func(func(ctx filter.Context) error {
+			for {
+				m, ok := ctx.Recv()
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				got = append(got, int(m.Payload.(intMsg)))
+				mu.Unlock()
+			}
+		})
+	}})
+	g.Connect(filter.ConnSpec{From: "src", FromPort: "out", To: "work", ToPort: "in", Policy: filter.DemandDriven})
+	g.Connect(filter.ConnSpec{From: "work", FromPort: "out", To: "sink", ToPort: "in", Policy: filter.RoundRobin})
+	return g, func() []int {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]int(nil), got...)
+	}
+}
+
+// forward relays every buffer unchanged.
+func forward(int) filter.Filter {
+	return filter.Func(func(ctx filter.Context) error {
+		for {
+			m, ok := ctx.Recv()
+			if !ok {
+				return nil
+			}
+			if err := ctx.Send("out", m.Payload); err != nil {
+				return err
+			}
+		}
+	})
+}
+
+func TestCrashAfterFailover(t *testing.T) {
+	const n = 80
+	g, got := chaosGraph(n, CrashAfter(forward, 1, 4), nil)
+	if _, err := filter.RunLocal(g, &filter.Options{Failover: true}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	msgs := got()
+	if len(msgs) != n {
+		t.Fatalf("sink received %d buffers, want %d", len(msgs), n)
+	}
+	sort.Ints(msgs)
+	for i, v := range msgs {
+		if v != i {
+			t.Fatalf("message %d delivered as %d: duplicates or loss", i, v)
+		}
+	}
+}
+
+func TestCrashAfterWithoutFailoverFails(t *testing.T) {
+	g, _ := chaosGraph(80, CrashAfter(forward, 1, 4), nil)
+	if _, err := filter.RunLocal(g, nil); err == nil {
+		t.Fatal("injected crash absorbed without failover")
+	}
+}
+
+func retryPolicy() *filter.RetryPolicy {
+	return &filter.RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		SendTimeout: 2 * time.Second,
+		RecvTimeout: 2 * time.Second,
+		Seed:        42,
+	}
+}
+
+func TestFlakyTCPLinkWithRetry(t *testing.T) {
+	const n = 40
+	// Break the 7th write on every outbound node link; each redial gets a
+	// fresh FlakyConn that breaks again, so the run only completes if the
+	// sender keeps reconnecting and retransmitting.
+	wrap := func(c net.Conn, from, to int) net.Conn {
+		return &FlakyConn{Conn: c, FailAt: 7}
+	}
+	g, got := chaosGraph(n, forward, []int{0, 1, 2})
+	rs, err := filter.RunTCP(g, &filter.Options{
+		WireCodec: filter.CodecBinary,
+		Failover:  true,
+		Retry:     retryPolicy(),
+		WrapConn:  wrap,
+	})
+	if err != nil {
+		t.Fatalf("run with retry: %v", err)
+	}
+	msgs := got()
+	if len(msgs) != n {
+		t.Fatalf("sink received %d buffers, want %d", len(msgs), n)
+	}
+	sort.Ints(msgs)
+	for i, v := range msgs {
+		if v != i {
+			t.Fatalf("message %d delivered as %d: duplicates or loss", i, v)
+		}
+	}
+	if rs.Report == nil {
+		t.Fatal("run report missing")
+	}
+	var retries, redials int64
+	for _, c := range rs.Report.Network {
+		retries += c.Retries
+		redials += c.Redials
+	}
+	if retries == 0 || redials == 0 {
+		t.Errorf("retries=%d redials=%d, want both > 0", retries, redials)
+	}
+}
+
+func TestFlakyTCPLinkWithoutRetryFails(t *testing.T) {
+	wrap := func(c net.Conn, from, to int) net.Conn {
+		return &FlakyConn{Conn: c, FailAt: 7}
+	}
+	g, _ := chaosGraph(40, forward, []int{0, 1, 2})
+	if _, err := filter.RunTCP(g, &filter.Options{WireCodec: filter.CodecBinary, WrapConn: wrap}); err == nil {
+		t.Fatal("flaky link survived without a retry policy")
+	}
+}

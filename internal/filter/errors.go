@@ -1,0 +1,18 @@
+package filter
+
+import "errors"
+
+// Sentinel errors of the fault-tolerance layer. Engines wrap them with %w and
+// context (filter name, copy index), so callers classify failures with
+// errors.Is regardless of the wrapping depth.
+var (
+	// ErrCopyFailed marks a filter-copy failure (error return or panic) that
+	// the runtime could not tolerate: failover disabled, the filter's inbound
+	// streams are explicit, or the copy had no surviving siblings to inherit
+	// its buffers.
+	ErrCopyFailed = errors.New("filter copy failed")
+
+	// ErrAllCopiesDead is the terminal failover error: every transparent copy
+	// of a filter has failed, so its stream can no longer make progress.
+	ErrAllCopiesDead = errors.New("all filter copies dead")
+)

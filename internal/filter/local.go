@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,25 @@ type Options struct {
 	// CodecGob, the original transport; CodecBinary uses the length-prefixed
 	// framing with direct backing-array writes for registered payload types.
 	WireCodec Codec
+	// Failover lets surviving transparent copies inherit the un-acked buffers
+	// of a failed copy instead of aborting the run. It applies to filters
+	// whose inbound streams are all policy-routed (round-robin or
+	// demand-driven) and that have more than one copy; a failure anywhere
+	// else, or of a filter's last copy, still aborts with a typed error
+	// (ErrCopyFailed / ErrAllCopiesDead). Default off: a copy failure aborts
+	// the run, the original behaviour.
+	Failover bool
+	// Retry hardens the TCP transport (ignored by the pure local engine):
+	// dial and send attempts are retried with exponential backoff and seeded
+	// jitter, deadlines bound sends and frame-body receives, and sequence
+	// numbers on the wire let the receiver drop duplicates created by
+	// retransmission. Nil disables retries (single attempt, the original
+	// behaviour).
+	Retry *RetryPolicy
+	// WrapConn, when set, wraps every outbound TCP connection right after a
+	// successful dial — the hook used by fault injection (fault.FlakyConn) in
+	// chaos tests. The arguments are the producer and consumer node indices.
+	WrapConn func(c net.Conn, fromNode, toNode int) net.Conn
 }
 
 func (o *Options) depth() int {
@@ -80,6 +100,12 @@ type copyState struct {
 	stats     CopyStats
 	met       *metrics.Copy // nil when metrics are disabled
 
+	// dead marks a copy whose failure was tolerated by failover; producers
+	// skip dead copies when picking targets. failMsg records the failure for
+	// the report (written once at death, read after the run's WaitGroup).
+	dead    atomic.Bool
+	failMsg string
+
 	// Consumption-rate observations for demand-driven scheduling, updated
 	// by the consumer goroutine and read by producers.
 	svcCompute atomic.Int64 // total compute ns
@@ -114,6 +140,11 @@ type runtime struct {
 	trans     transport
 	engine    string // "local" or "tcp", recorded in the report
 	metricsOn bool
+	// failover has an entry per failover-eligible filter (nil map when the
+	// option is off).
+	failover map[string]*failoverState
+	// auxWG tracks dead-copy inbox drainers, waited after the copies finish.
+	auxWG sync.WaitGroup
 
 	done     chan struct{}
 	stopOnce sync.Once
@@ -150,6 +181,14 @@ func newRuntime(g *Graph, opts *Options, trans transport) (*runtime, error) {
 			}
 		}
 		rt.copies[fs.Name] = states
+	}
+	if opts != nil && opts.Failover {
+		rt.failover = make(map[string]*failoverState)
+		for _, fs := range g.Filters {
+			if failoverEligible(g, fs.Name, fs.Copies) {
+				rt.failover[fs.Name] = newFailoverState(fs.Copies)
+			}
+		}
 	}
 	for _, c := range g.Conns {
 		producer, _ := g.Filter(c.From)
@@ -198,7 +237,7 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 		fs := fs
 		for i := 0; i < fs.Copies; i++ {
 			st := rt.copies[fs.Name][i]
-			ctx := &localCtx{rt: rt, st: st}
+			ctx := &localCtx{rt: rt, st: st, fo: rt.failover[fs.Name]}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -213,8 +252,17 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 				}()
 				ctx.closeCompute()
 				if err != nil && !errors.Is(err, errStopped) {
-					rt.fail(fmt.Errorf("filter %s[%d]: %w", st.filter, st.copyIdx, err))
-					return
+					if !rt.tolerateFailure(st, ctx, err) {
+						return
+					}
+					// Tolerated: the drainer owns this copy's inbox from here;
+					// fall through to sign off downstream streams as if the
+					// copy had finished.
+				} else if ctx.fo != nil && !ctx.finalWaited {
+					// Finished (or was stopped) without consuming all input:
+					// retire the processing slot so survivors in the final
+					// wait don't wait for us.
+					ctx.fo.release()
 				}
 				// Signal end-of-stream on every outgoing connection.
 				for _, c := range rt.graph.ConnsFrom(st.filter) {
@@ -230,12 +278,16 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 				}
 				// Drain any input this copy chose not to consume, so that
 				// upstream producers blocked on our full inbox make
-				// progress (a filter may legitimately finish early).
-				rt.drain(st, ctx)
+				// progress (a filter may legitimately finish early). A dead
+				// copy's inbox is drained (and requeued) by its drainer.
+				if !st.dead.Load() {
+					rt.drain(st, ctx)
+				}
 			}()
 		}
 	}
 	wg.Wait()
+	rt.auxWG.Wait()
 	if rt.trans != nil {
 		if cerr := rt.trans.close(); cerr != nil && rt.firstErr == nil {
 			rt.firstErr = cerr
@@ -287,7 +339,14 @@ func (rt *runtime) buildReport(elapsed time.Duration) *metrics.RunReport {
 				cr.PoolHits = st.met.PoolHit.Load()
 				cr.PoolMisses = st.met.PoolMiss.Load()
 			}
+			cr.Failed = st.stats.Failed
+			cr.Failure = st.failMsg
 			fr.Copies = append(fr.Copies, cr)
+		}
+		if fo := rt.failover[fs.Name]; fo != nil {
+			fo.mu.Lock()
+			fr.Redelivered = fo.redelivered
+			fo.mu.Unlock()
 		}
 		rep.Filters = append(rep.Filters, fr)
 	}
@@ -388,10 +447,21 @@ func (rt *runtime) enqueueLocal(to *copyState, m inMsg) error {
 type localCtx struct {
 	rt *runtime
 	st *copyState
+	fo *failoverState // nil unless this filter is failover-eligible
 
 	lastMark time.Time // start of the current compute segment
 	eosSeen  map[string]int
 	openIn   int // ports still expecting data; -1 = uninitialized
+
+	// inflight is the last buffer handed to the filter, un-acked until the
+	// next Recv call: if the copy dies in between, failover redelivers it to
+	// a sibling. Same-goroutine access only (tolerateFailure runs on the
+	// copy's own goroutine).
+	inflight    inMsg
+	hasInflight bool
+	// finalWaited is true while this copy is parked in the failover final
+	// wait (all EOS seen, processing slot released).
+	finalWaited bool
 }
 
 func (c *localCtx) FilterName() string     { return c.st.filter }
@@ -430,16 +500,46 @@ func (c *localCtx) Recv() (Msg, bool) {
 			}
 		}
 	}
+	// Returning to Recv acks the previous buffer: the filter is done with it,
+	// so it is no longer redelivered if this copy dies.
+	c.hasInflight = false
 	blockStart := c.markCompute()
 	defer func() {
 		now := time.Now()
 		c.st.stats.BlockRecv += now.Sub(blockStart)
 		c.lastMark = now
 	}()
-	for c.openIn > 0 {
+	for {
+		// Failover-eligible copies first take over requeued buffers from dead
+		// siblings; once their own streams are closed they park in the final
+		// wait until the whole filter is quiescent.
+		var wake chan struct{}
+		if c.fo != nil {
+			m, ok, done, ch := c.fo.poll(c)
+			if ok {
+				return c.accept(m)
+			}
+			if done {
+				return Msg{}, false
+			}
+			wake = ch
+		}
+		if c.openIn == 0 {
+			if c.fo == nil {
+				return Msg{}, false
+			}
+			select {
+			case <-wake:
+				continue
+			case <-c.rt.done:
+				return Msg{}, false
+			}
+		}
 		var m inMsg
 		select {
 		case m = <-c.st.inbox:
+		case <-wake: // nil (blocks forever) unless failover-eligible
+			continue
 		case <-c.rt.done:
 			return Msg{}, false
 		}
@@ -451,12 +551,21 @@ func (c *localCtx) Recv() (Msg, bool) {
 			continue
 		}
 		c.st.pending.Add(-1)
-		c.st.stats.MsgsIn++
-		c.st.svcMsgs.Add(1)
-		c.st.stats.BytesIn += int64(m.payload.SizeBytes())
-		return Msg{Port: m.port, Payload: m.payload}, true
+		return c.accept(m)
 	}
-	return Msg{}, false
+}
+
+// accept records the consumption stats for a buffer and marks it in flight
+// until the next Recv.
+func (c *localCtx) accept(m inMsg) (Msg, bool) {
+	c.st.stats.MsgsIn++
+	c.st.svcMsgs.Add(1)
+	c.st.stats.BytesIn += int64(m.payload.SizeBytes())
+	if c.fo != nil {
+		c.inflight = m
+		c.hasInflight = true
+	}
+	return Msg{Port: m.port, Payload: m.payload}, true
 }
 
 func (c *localCtx) Send(port string, p Payload) error {
@@ -467,23 +576,39 @@ func (c *localCtx) Send(port string, p Payload) error {
 	var target *copyState
 	switch cs.spec.Policy {
 	case RoundRobin:
-		target = cs.consumers[int(cs.rr.Add(1)-1)%len(cs.consumers)]
+		// Advance past dead copies (failover): the n-bounded scan keeps the
+		// no-failure path identical to plain modulo round-robin.
+		n := len(cs.consumers)
+		for i := 0; i < n; i++ {
+			if cand := cs.consumers[int(cs.rr.Add(1)-1)%n]; !cand.dead.Load() {
+				target = cand
+				break
+			}
+		}
 	case DemandDriven:
 		// DataCutter's demand-driven scheduler assigns each buffer based on
 		// the copies' buffer consumption rates. Estimate each copy's
 		// completion time for this buffer as (queue+1) × its observed mean
 		// service time, preferring a co-located copy on ties (it receives
-		// the buffer by pointer hand-off).
-		best := cs.consumers[0]
-		bestScore := ddScore(best, c.st.node)
-		for _, cand := range cs.consumers[1:] {
-			if s := ddScore(cand, c.st.node); s < bestScore {
+		// the buffer by pointer hand-off). Dead copies are not candidates.
+		var best *copyState
+		var bestScore int64
+		for _, cand := range cs.consumers {
+			if cand.dead.Load() {
+				continue
+			}
+			if s := ddScore(cand, c.st.node); best == nil || s < bestScore {
 				best, bestScore = cand, s
 			}
 		}
 		target = best
 	case Explicit:
 		return fmt.Errorf("filter: port %s.%s is explicit; use SendTo", c.st.filter, port)
+	}
+	if target == nil {
+		err := fmt.Errorf("filter: %s: %w", cs.spec.To, ErrAllCopiesDead)
+		c.rt.fail(err)
+		return errStopped
 	}
 	return c.send(cs, target, port, p)
 }

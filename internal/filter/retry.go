@@ -1,0 +1,113 @@
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+)
+
+// RetryPolicy hardens the TCP transport against transient network faults:
+// dial attempts and envelope writes are retried with exponential backoff and
+// seeded jitter, writes carry a deadline, and every retransmitted envelope
+// keeps its per-node-pair sequence number so the receiver can drop
+// duplicates after a reconnect.
+//
+// The zero value (and a nil policy) disables retries entirely — a single
+// attempt per operation, the transport's original behaviour — so library
+// callers that never asked for fault tolerance are unaffected.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts per operation (first try
+	// included). Values <= 1 disable retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each subsequent retry
+	// doubles it up to MaxDelay. Zero selects 10ms when retries are enabled.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. Zero selects 1s.
+	MaxDelay time.Duration
+	// SendTimeout is the per-attempt write deadline on envelope sends; zero
+	// leaves writes unbounded.
+	SendTimeout time.Duration
+	// RecvTimeout bounds how long the receiver waits for the body of a frame
+	// whose header has already arrived (binary codec only) — a torn frame
+	// from a failed sender is detected instead of hanging. Zero disables it.
+	RecvTimeout time.Duration
+	// Seed makes the backoff jitter deterministic for reproducible chaos
+	// tests. Zero seeds from the policy defaults (still deterministic).
+	Seed int64
+}
+
+// enabled reports whether the policy asks for any retries.
+func (p *RetryPolicy) enabled() bool { return p != nil && p.MaxAttempts > 1 }
+
+func (p *RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 10 * time.Millisecond
+}
+
+func (p *RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return time.Second
+}
+
+// backoff returns the sleep before retry attempt (1-based), with up to 50%
+// seeded jitter: base·2^(attempt−1) capped at MaxDelay.
+func (p *RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.baseDelay() << (attempt - 1)
+	if max := p.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	if rng != nil {
+		d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+	}
+	return d
+}
+
+// ParseRetry parses the CLI retry spec "attempts[,base[,max]]" — e.g. "5",
+// "5,20ms", "5,20ms,2s" — into a policy with default deadlines. "0", "1" and
+// "" mean no retries (nil policy).
+func ParseRetry(s string) (*RetryPolicy, error) {
+	if s == "" || s == "0" || s == "1" {
+		return nil, nil
+	}
+	var p RetryPolicy
+	fields := splitComma(s)
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("filter: invalid retry attempts %q", fields[0])
+	}
+	p.MaxAttempts = n
+	if len(fields) > 1 {
+		if p.BaseDelay, err = time.ParseDuration(fields[1]); err != nil || p.BaseDelay < 0 {
+			return nil, fmt.Errorf("filter: invalid retry base delay %q", fields[1])
+		}
+	}
+	if len(fields) > 2 {
+		if p.MaxDelay, err = time.ParseDuration(fields[2]); err != nil || p.MaxDelay < 0 {
+			return nil, fmt.Errorf("filter: invalid retry max delay %q", fields[2])
+		}
+	}
+	if len(fields) > 3 {
+		return nil, fmt.Errorf("filter: retry spec %q has too many fields (want attempts[,base[,max]])", s)
+	}
+	if !p.enabled() {
+		return nil, nil
+	}
+	return &p, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParseRetry(t *testing.T) {
+	for _, s := range []string{"", "0", "1"} {
+		if p, err := ParseRetry(s); err != nil || p != nil {
+			t.Errorf("ParseRetry(%q) = %v, %v, want nil policy", s, p, err)
+		}
+	}
+	p, err := ParseRetry("5,20ms,2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxAttempts != 5 || p.BaseDelay != 20*time.Millisecond || p.MaxDelay != 2*time.Second {
+		t.Fatalf("ParseRetry full spec = %+v", p)
+	}
+	if p, err := ParseRetry("3"); err != nil || p.MaxAttempts != 3 || p.BaseDelay != 0 {
+		t.Errorf("ParseRetry(\"3\") = %+v, %v", p, err)
+	}
+	for _, s := range []string{"x", "-2", "5,nope", "5,20ms,bad", "5,1ms,1s,extra"} {
+		if _, err := ParseRetry(s); err == nil {
+			t.Errorf("ParseRetry(%q) accepted", s)
+		}
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	// Without jitter: 10, 20, 40, 80, 80, ...
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.backoff(i+1, nil); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// With jitter: bounded by 1.5x the unjittered delay, and deterministic
+	// per seed.
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	for a := 1; a <= 6; a++ {
+		d1, d2 := p.backoff(a, rng1), p.backoff(a, rng2)
+		if d1 != d2 {
+			t.Fatalf("backoff(%d) not deterministic per seed: %v vs %v", a, d1, d2)
+		}
+		base := p.backoff(a, nil)
+		if d1 < base || d1 > base+base/2 {
+			t.Errorf("backoff(%d) = %v outside [%v, %v]", a, d1, base, base+base/2)
+		}
+	}
+	// Defaults when zero-valued.
+	zp := &RetryPolicy{MaxAttempts: 2}
+	if zp.backoff(1, nil) != 10*time.Millisecond {
+		t.Errorf("default base = %v, want 10ms", zp.backoff(1, nil))
+	}
+	if zp.backoff(20, nil) != time.Second {
+		t.Errorf("default cap = %v, want 1s", zp.backoff(20, nil))
+	}
+}
+
+func TestRetryEnabled(t *testing.T) {
+	var nilP *RetryPolicy
+	if nilP.enabled() {
+		t.Error("nil policy enabled")
+	}
+	if (&RetryPolicy{MaxAttempts: 1}).enabled() {
+		t.Error("single attempt enabled")
+	}
+	if !(&RetryPolicy{MaxAttempts: 2}).enabled() {
+		t.Error("two attempts disabled")
+	}
+}

@@ -23,6 +23,9 @@ type CopyStats struct {
 	MsgsOut   int64
 	BytesIn   int64
 	BytesOut  int64
+	// Failed marks a copy whose failure was tolerated by failover (the run
+	// completed on the surviving copies).
+	Failed bool
 }
 
 // RunStats is the result of an engine run: per-filter per-copy statistics

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -38,7 +39,7 @@ func RunTCPContext(ctx context.Context, g *Graph, opts *Options) (*RunStats, err
 	if err != nil {
 		return nil, err
 	}
-	tr, err := newTCPTransport(rt, g.NumNodes(), opts.codec())
+	tr, err := newTCPTransport(rt, g.NumNodes(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -50,13 +51,17 @@ func RunTCPContext(ctx context.Context, g *Graph, opts *Options) (*RunStats, err
 }
 
 // envelope is the wire format of one buffer crossing nodes. FromNode lets
-// the receiver attribute wire traffic to the ordered node pair.
+// the receiver attribute wire traffic to the ordered node pair. Seq is the
+// per-ordered-node-pair sequence number, stamped only when a RetryPolicy is
+// active (Seq 0 means no duplicate suppression): a retransmitted envelope
+// keeps its number, so the receiver drops the copy it already enqueued.
 type envelope struct {
 	FromNode int
 	ToFilter string
 	ToCopy   int
 	Port     string
 	EOS      bool
+	Seq      uint64
 	Payload  Payload
 }
 
@@ -93,11 +98,22 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 type tcpTransport struct {
 	rt        *runtime
 	codec     Codec
+	retry     *RetryPolicy // nil: single-attempt sends, no deadlines
+	wrap      func(net.Conn, int, int) net.Conn
 	listeners []net.Listener
 	addrs     []string
 
 	mu    sync.Mutex
 	conns map[[2]int]*tcpConn
+
+	// streams resequences arrivals per ordered node pair. It outlives
+	// individual sockets: when a broken connection is replaced, its last
+	// successfully-written frames can still be in flight while retransmitted
+	// frames arrive over the fresh socket, so the receiver delivers strictly
+	// in sequence order — retransmitted duplicates are dropped, and frames
+	// that arrive early wait for the stragglers from the dying socket.
+	seqMu   sync.Mutex
+	streams map[[2]int]*pairStream
 
 	// Per ordered node pair network metrics, shared between the sending side
 	// (Out fields, Send timer) and the receiving loop (In fields, Recv
@@ -111,16 +127,31 @@ type tcpTransport struct {
 }
 
 type tcpConn struct {
+	tr       *tcpTransport
+	from, to int
+
 	mu  sync.Mutex
-	c   net.Conn
+	c   net.Conn // replaced in place on redial, under mu
 	cw  *countingWriter
-	enc *gob.Encoder  // CodecGob only
+	enc *gob.Encoder  // CodecGob only; rebuilt on redial (the re-handshake)
 	buf []byte        // CodecBinary frame scratch, reused under mu
 	met *metrics.Conn // nil when metrics are disabled
+	seq uint64        // last stamped sequence number (retry mode)
+	rng *rand.Rand    // seeded backoff jitter, used under mu
 }
 
-func newTCPTransport(rt *runtime, nodes int, codec Codec) (*tcpTransport, error) {
-	tr := &tcpTransport{rt: rt, codec: codec, conns: map[[2]int]*tcpConn{}, mets: map[[2]int]*metrics.Conn{}}
+func newTCPTransport(rt *runtime, nodes int, opts *Options) (*tcpTransport, error) {
+	tr := &tcpTransport{
+		rt:      rt,
+		codec:   opts.codec(),
+		conns:   map[[2]int]*tcpConn{},
+		mets:    map[[2]int]*metrics.Conn{},
+		streams: map[[2]int]*pairStream{},
+	}
+	if opts != nil {
+		tr.retry = opts.Retry
+		tr.wrap = opts.WrapConn
+	}
 	for i := 0; i < nodes; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -179,6 +210,10 @@ func (tr *tcpTransport) netReport() []metrics.ConnReport {
 			MsgsIn:       m.MsgsIn.Load(),
 			WireBytesIn:  m.WireBytesIn.Load(),
 			RecvNS:       m.Recv.Stat().TotalNS,
+			Retries:      m.Retries.Load(),
+			Redials:      m.Redials.Load(),
+			DupsDropped:  m.DupsDropped.Load(),
+			RecvErrors:   m.RecvErrors.Load(),
 		})
 	}
 	return out
@@ -214,11 +249,15 @@ func (d gobEnvelopeDecoder) next() (envelope, error) {
 
 // binaryEnvelopeDecoder is the CodecBinary receive side: a u32 length prefix
 // followed by the frame body, read with exactly two ReadFull calls so the
-// counting reader's per-message byte attribution stays exact.
+// counting reader's per-message byte attribution stays exact. When a receive
+// timeout is configured, the frame body is read under a deadline — a torn
+// frame from a dead sender surfaces as an error instead of hanging the loop.
 type binaryEnvelopeDecoder struct {
-	r   io.Reader
-	hdr [4]byte
-	buf []byte // frame scratch, reused across messages
+	r           io.Reader
+	conn        net.Conn // deadline control; nil when timeouts are off
+	bodyTimeout time.Duration
+	hdr         [4]byte
+	buf         []byte // frame scratch, reused across messages
 }
 
 func (d *binaryEnvelopeDecoder) next() (envelope, error) {
@@ -233,6 +272,10 @@ func (d *binaryEnvelopeDecoder) next() (envelope, error) {
 		d.buf = make([]byte, n)
 	}
 	d.buf = d.buf[:n]
+	if d.conn != nil && d.bodyTimeout > 0 {
+		d.conn.SetReadDeadline(time.Now().Add(d.bodyTimeout))
+		defer d.conn.SetReadDeadline(time.Time{})
+	}
 	if _, err := io.ReadFull(d.r, d.buf); err != nil {
 		return envelope{}, err
 	}
@@ -251,7 +294,11 @@ func (tr *tcpTransport) recvLoop(conn net.Conn, node int) {
 	cr := &countingReader{r: conn}
 	var dec envelopeDecoder
 	if tr.codec == CodecBinary {
-		dec = &binaryEnvelopeDecoder{r: cr}
+		bd := &binaryEnvelopeDecoder{r: cr}
+		if tr.retry != nil && tr.retry.RecvTimeout > 0 {
+			bd.conn, bd.bodyTimeout = conn, tr.retry.RecvTimeout
+		}
+		dec = bd
 	} else {
 		dec = gobEnvelopeDecoder{dec: gob.NewDecoder(cr)}
 	}
@@ -263,6 +310,16 @@ func (tr *tcpTransport) recvLoop(conn net.Conn, node int) {
 		env, err := dec.next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !tr.isClosed() && !dropping {
+				if tr.retry.enabled() {
+					// A torn frame from a broken sender: drop this socket and
+					// rely on the sender's retransmission over a fresh one —
+					// the pair resequencer drops anything already delivered.
+					if met != nil {
+						met.RecvErrors.Inc()
+					}
+					conn.Close()
+					return
+				}
 				tr.rt.fail(fmt.Errorf("filter: tcp decode: %w", err))
 			}
 			return
@@ -276,18 +333,32 @@ func (tr *tcpTransport) recvLoop(conn net.Conn, node int) {
 			met.WireBytesIn.Add(cr.n - lastBytes)
 			lastBytes = cr.n
 		}
+		batch := []envelope{env}
+		if env.Seq > 0 {
+			ready, dup := tr.sequence(env.FromNode, node, env)
+			if dup {
+				if met != nil {
+					met.DupsDropped.Inc()
+				}
+				continue
+			}
+			batch = ready // may be empty: held back until the gap fills
+		}
 		if dropping {
 			continue
 		}
-		copies, ok := tr.rt.copies[env.ToFilter]
-		if !ok || env.ToCopy < 0 || env.ToCopy >= len(copies) {
-			tr.rt.fail(fmt.Errorf("filter: tcp envelope for unknown copy %s[%d]", env.ToFilter, env.ToCopy))
-			dropping = true
-			continue
-		}
-		m := inMsg{port: env.Port, payload: env.Payload, eos: env.EOS}
-		if err := tr.rt.enqueueLocal(copies[env.ToCopy], m); err != nil {
-			dropping = true // run aborted; drain until the connection closes
+		for _, env := range batch {
+			copies, ok := tr.rt.copies[env.ToFilter]
+			if !ok || env.ToCopy < 0 || env.ToCopy >= len(copies) {
+				tr.rt.fail(fmt.Errorf("filter: tcp envelope for unknown copy %s[%d]", env.ToFilter, env.ToCopy))
+				dropping = true
+				break
+			}
+			m := inMsg{port: env.Port, payload: env.Payload, eos: env.EOS}
+			if err := tr.rt.enqueueLocal(copies[env.ToCopy], m); err != nil {
+				dropping = true // run aborted; drain until the connection closes
+				break
+			}
 		}
 	}
 }
@@ -298,28 +369,143 @@ func (tr *tcpTransport) isClosed() bool {
 	return tr.closed
 }
 
+// pairStream holds one ordered node pair's delivery state: the next
+// sequence number owed to the runtime and any frames that arrived ahead of
+// it over a fresh socket while stragglers from a replaced socket were still
+// in flight.
+type pairStream struct {
+	next uint64              // lowest sequence number not yet delivered
+	held map[uint64]envelope // arrived early, waiting for the gap to fill
+}
+
+// sequence admits env into the pair's ordered stream. It returns the
+// consecutive run of envelopes now ready for delivery (empty while a gap is
+// outstanding) or dup=true for a frame that was already delivered or is
+// already being held. Gap frames are guaranteed to arrive eventually: the
+// sender closes a socket only after its writes succeeded (the orderly
+// shutdown flushes buffered frames) or retransmits the failed envelope over
+// the replacement connection.
+func (tr *tcpTransport) sequence(from, to int, env envelope) (ready []envelope, dup bool) {
+	key := [2]int{from, to}
+	tr.seqMu.Lock()
+	defer tr.seqMu.Unlock()
+	ps := tr.streams[key]
+	if ps == nil {
+		ps = &pairStream{next: 1}
+		tr.streams[key] = ps
+	}
+	if env.Seq < ps.next {
+		return nil, true
+	}
+	if env.Seq > ps.next {
+		if _, exists := ps.held[env.Seq]; exists {
+			return nil, true
+		}
+		if ps.held == nil {
+			ps.held = map[uint64]envelope{}
+		}
+		ps.held[env.Seq] = env
+		return nil, false
+	}
+	ready = append(ready, env)
+	ps.next++
+	for {
+		e, ok := ps.held[ps.next]
+		if !ok {
+			break
+		}
+		delete(ps.held, ps.next)
+		ready = append(ready, e)
+		ps.next++
+	}
+	return ready, false
+}
+
+// pairRNG seeds the backoff-jitter source deterministically from the policy
+// seed and the ordered node pair, so chaos runs reproduce exactly.
+func (tr *tcpTransport) pairRNG(from, to int) *rand.Rand {
+	if !tr.retry.enabled() {
+		return nil
+	}
+	seed := tr.retry.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed<<16 ^ int64(from)<<8 ^ int64(to)))
+}
+
+// dial establishes the raw socket for an ordered node pair, retrying with
+// backoff per the retry policy, and applies the fault-injection hook.
+func (tr *tcpTransport) dial(from, to int, rng *rand.Rand, met *metrics.Conn) (net.Conn, error) {
+	attempts := 1
+	if tr.retry.enabled() {
+		attempts = tr.retry.MaxAttempts
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			if met != nil {
+				met.Retries.Inc()
+			}
+			select {
+			case <-time.After(tr.retry.backoff(a-1, rng)):
+			case <-tr.rt.done:
+				return nil, errStopped
+			}
+		}
+		conn, err := net.Dial("tcp", tr.addrs[to])
+		if err == nil {
+			if tr.wrap != nil {
+				conn = tr.wrap(conn, from, to)
+			}
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("filter: tcp dial node %d: %w", to, lastErr)
+}
+
 // connTo returns (dialing if necessary) the connection from one node to
-// another.
+// another. Dialing happens outside the transport lock: with retries enabled
+// a dial may back off and sleep, which must not stall unrelated node pairs
+// or the transport's shutdown.
 func (tr *tcpTransport) connTo(from, to int) (*tcpConn, error) {
 	key := [2]int{from, to}
 	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	if tr.closed {
+		tr.mu.Unlock()
 		return nil, errStopped
 	}
 	if c, ok := tr.conns[key]; ok {
+		tr.mu.Unlock()
 		return c, nil
 	}
-	conn, err := net.Dial("tcp", tr.addrs[to])
+	tr.mu.Unlock()
+
+	met := tr.connMetric(from, to)
+	rng := tr.pairRNG(from, to)
+	conn, err := tr.dial(from, to, rng, met)
 	if err != nil {
-		return nil, fmt.Errorf("filter: tcp dial node %d: %w", to, err)
+		return nil, err
 	}
 	cw := &countingWriter{w: conn}
-	c := &tcpConn{c: conn, cw: cw, met: tr.connMetric(from, to)}
+	c := &tcpConn{tr: tr, from: from, to: to, c: conn, cw: cw, met: met, rng: rng}
 	if tr.codec != CodecBinary {
 		c.enc = gob.NewEncoder(cw)
 	}
+	tr.mu.Lock()
+	if tr.closed {
+		tr.mu.Unlock()
+		conn.Close()
+		return nil, errStopped
+	}
+	if prev, ok := tr.conns[key]; ok { // lost a concurrent dial race
+		tr.mu.Unlock()
+		conn.Close()
+		return prev, nil
+	}
 	tr.conns[key] = c
+	tr.mu.Unlock()
 	return c, nil
 }
 
@@ -331,27 +517,112 @@ func (tr *tcpTransport) deliver(from, to *copyState, m inMsg) error {
 	env := envelope{FromNode: from.node, ToFilter: to.filter, ToCopy: to.copyIdx, Port: m.port, EOS: m.eos, Payload: m.payload}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if tr.retry.enabled() {
+		c.seq++
+		env.Seq = c.seq
+	}
 	var start time.Time
 	before := c.cw.n
 	if c.met != nil {
 		start = time.Now()
 	}
-	if tr.codec == CodecBinary {
-		buf, err := appendEnvelope(c.buf[:0], &env)
-		if err != nil {
-			return fmt.Errorf("filter: tcp encode to %s[%d]: %w", to.filter, to.copyIdx, err)
-		}
-		c.buf = buf // keep the grown scratch for the next message
-		if _, err := c.cw.Write(buf); err != nil {
-			return fmt.Errorf("filter: tcp write to %s[%d]: %w", to.filter, to.copyIdx, err)
-		}
-	} else if err := c.enc.Encode(env); err != nil {
-		return fmt.Errorf("filter: tcp encode to %s[%d]: %w", to.filter, to.copyIdx, err)
+	if err := c.writeEnvelope(&env, to); err != nil {
+		return err
 	}
 	if c.met != nil {
 		c.met.Send.Add(time.Since(start))
 		c.met.MsgsOut.Inc()
 		c.met.WireBytesOut.Add(c.cw.n - before)
+	}
+	return nil
+}
+
+// writeEnvelope encodes and writes one envelope under c.mu. With retries
+// enabled a failed write closes the socket, backs off, redials, and
+// retransmits the same envelope (same sequence number) over the fresh
+// connection; the receiver's pair resequencer drops any duplicate.
+func (c *tcpConn) writeEnvelope(env *envelope, to *copyState) error {
+	p := c.tr.retry
+	binary := c.tr.codec == CodecBinary
+	if binary {
+		// The binary frame is encoded once and retransmitted byte-identically;
+		// gob re-encodes per attempt because every reconnect restarts the gob
+		// stream (the re-handshake).
+		buf, err := appendEnvelope(c.buf[:0], env)
+		if err != nil {
+			return fmt.Errorf("filter: tcp encode to %s[%d]: %w", to.filter, to.copyIdx, err)
+		}
+		c.buf = buf // keep the grown scratch for the next message
+	}
+	attempts := 1
+	if p.enabled() {
+		attempts = p.MaxAttempts
+	}
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			if c.met != nil {
+				c.met.Retries.Inc()
+			}
+			select {
+			case <-time.After(p.backoff(a-1, c.rng)):
+			case <-c.tr.rt.done:
+				return errStopped
+			}
+			if err := c.redial(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := c.writeOnce(env, binary); err != nil {
+			lastErr = err
+			c.c.Close() // poison the socket so the next attempt redials
+			continue
+		}
+		return nil
+	}
+	verb := "write"
+	if !binary {
+		verb = "encode"
+	}
+	if attempts > 1 {
+		return fmt.Errorf("filter: tcp send to %s[%d] failed after %d attempts: %w", to.filter, to.copyIdx, attempts, lastErr)
+	}
+	return fmt.Errorf("filter: tcp %s to %s[%d]: %w", verb, to.filter, to.copyIdx, lastErr)
+}
+
+// writeOnce performs a single framed write under the policy's send deadline.
+func (c *tcpConn) writeOnce(env *envelope, binary bool) error {
+	if p := c.tr.retry; p != nil && p.SendTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(p.SendTimeout))
+		defer c.c.SetWriteDeadline(time.Time{})
+	}
+	if binary {
+		_, err := c.cw.Write(c.buf)
+		return err
+	}
+	return c.enc.Encode(*env)
+}
+
+// redial replaces the broken socket with a fresh one. The counting writer is
+// retargeted in place (cumulative byte counts continue) and the gob encoder
+// is rebuilt, which restarts the type-descriptor handshake on the new stream.
+func (c *tcpConn) redial() error {
+	conn, err := net.Dial("tcp", c.tr.addrs[c.to])
+	if err != nil {
+		return fmt.Errorf("filter: tcp redial node %d: %w", c.to, err)
+	}
+	if c.tr.wrap != nil {
+		conn = c.tr.wrap(conn, c.from, c.to)
+	}
+	c.c.Close()
+	c.c = conn
+	c.cw.w = conn
+	if c.tr.codec != CodecBinary {
+		c.enc = gob.NewEncoder(c.cw)
+	}
+	if c.met != nil {
+		c.met.Redials.Inc()
 	}
 	return nil
 }
@@ -369,7 +640,10 @@ func (tr *tcpTransport) close() error {
 		}
 	}
 	for _, c := range tr.conns {
-		if err := c.c.Close(); err != nil && tr.closeErr == nil {
+		c.mu.Lock() // c.c is replaced under c.mu on redial
+		err := c.c.Close()
+		c.mu.Unlock()
+		if err != nil && tr.closeErr == nil {
 			tr.closeErr = err
 		}
 	}

@@ -79,6 +79,7 @@ func RegisterWireDecoder(id byte, dec WireDecoder) {
 //	flags    byte (EOS, payload present, payload is a gob blob)
 //	FromNode uvarint
 //	ToCopy   uvarint
+//	Seq      uvarint (0 when duplicate suppression is off)
 //	ToFilter uvarint length + bytes
 //	Port     uvarint length + bytes
 //	payload  WireID byte + AppendWire bytes, or a self-describing gob blob
@@ -114,6 +115,7 @@ func appendEnvelope(buf []byte, env *envelope) ([]byte, error) {
 	buf = append(buf, flags)
 	buf = binary.AppendUvarint(buf, uint64(env.FromNode))
 	buf = binary.AppendUvarint(buf, uint64(env.ToCopy))
+	buf = binary.AppendUvarint(buf, env.Seq)
 	buf = binary.AppendUvarint(buf, uint64(len(env.ToFilter)))
 	buf = append(buf, env.ToFilter...)
 	buf = binary.AppendUvarint(buf, uint64(len(env.Port)))
@@ -179,6 +181,9 @@ func decodeEnvelope(frame []byte) (envelope, error) {
 		return env, err
 	}
 	env.FromNode, env.ToCopy = int(from), int(toCopy)
+	if env.Seq, err = u("Seq"); err != nil {
+		return env, err
+	}
 	if env.ToFilter, err = str("ToFilter"); err != nil {
 		return env, err
 	}

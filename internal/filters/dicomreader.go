@@ -1,9 +1,12 @@
 package filters
 
 import (
+	"errors"
 	"fmt"
 
+	"haralick4d/internal/dataset"
 	"haralick4d/internal/dicom"
+	"haralick4d/internal/fault"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/metrics"
 	"haralick4d/internal/readahead"
@@ -22,6 +25,11 @@ type DFRConfig struct {
 	// of the emit loop; 0 reads synchronously, reproducing the un-staged
 	// reader exactly.
 	ReadAhead int
+	// FaultPolicy selects what a failed slice decode does: fault.FailFast
+	// (zero value) aborts the run; fault.SkipDegraded replaces the lost
+	// slice with DegradedPieceMsg notices. The DICOM store carries no
+	// per-slice checksums, so every decode failure counts as degraded data.
+	FaultPolicy fault.Policy
 }
 
 // NewDFR returns the DICOMFileReader factory. Each copy decodes the DICOM
@@ -51,7 +59,7 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 				pix := getU16(X * Y)
 				defer putU16(pix)
 				if err := st.ReadSliceInto(sf, pix); err != nil {
-					return nil, err
+					return nil, fmt.Errorf("%w: dicom slice (z=%d, t=%d): %w", dataset.ErrDegradedData, sf.Z, sf.T, err)
 				}
 				window := getRegion(volume.Box{
 					Lo: [4]int{0, 0, sf.Z, sf.T},
@@ -75,7 +83,19 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 					break // closed mid-stream; the engine is aborting
 				}
 				if err != nil {
-					return err
+					sf := slices[i]
+					if cfg.FaultPolicy != fault.SkipDegraded || !errors.Is(err, dataset.ErrDegradedData) {
+						return err
+					}
+					box := volume.Box{
+						Lo: [4]int{0, 0, sf.Z, sf.T},
+						Hi: [4]int{X, Y, sf.Z + 1, sf.T + 1},
+					}
+					if err := emitDegraded(ctx, cfg.Chunker, sf.Z, sf.T,
+						sf.T*st.Dims[2]+sf.Z, box, iicCopies); err != nil {
+						return err
+					}
+					continue
 				}
 				if err := emitPieces(ctx, cfg.Chunker, slices[i].Z, slices[i].T, window, iicCopies); err != nil {
 					return err

@@ -1,9 +1,11 @@
 package filters
 
 import (
+	"errors"
 	"fmt"
 
 	"haralick4d/internal/dataset"
+	"haralick4d/internal/fault"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/metrics"
 	"haralick4d/internal/readahead"
@@ -32,6 +34,12 @@ type RFRConfig struct {
 	// (positioned reads + requantization) ahead of the emit loop. 0 reads
 	// synchronously, reproducing the un-staged reader exactly.
 	ReadAhead int
+	// FaultPolicy selects what a failed slice read does: fault.FailFast
+	// (zero value) aborts the run with the read error; fault.SkipDegraded
+	// replaces the lost window with DegradedPieceMsg notices so the rest of
+	// the dataset still completes. Only dataset.ErrDegradedData failures are
+	// skippable — programming errors always abort.
+	FaultPolicy fault.Policy
 }
 
 // ioWindow is one read unit of the reader filters: a 2D sub-window of one
@@ -80,13 +88,23 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 			// fetch runs on the read-ahead workers (or inline when
 			// ReadAhead is 0): one positioned read plus the uint16→gray
 			// decode, into a pooled window region the emit loop recycles.
+			// Whole-slice windows go through ReadSliceInto, which verifies
+			// the per-slice checksum when the index carries one; sub-slice
+			// windows read rows positionally and catch truncation but not
+			// bit flips.
 			fetch := func(i int) (*volume.Region, error) {
 				w := windows[i]
 				sp := met.StartRead()
 				defer sp.End()
 				raw := getU16((w.x1 - w.x0) * (w.y1 - w.y0))
 				defer putU16(raw)
-				if err := st.ReadSliceRegionInto(ctx.CopyIndex(), w.ref, w.x0, w.x1, w.y0, w.y1, raw); err != nil {
+				var err error
+				if w.x0 == 0 && w.x1 == X && w.y0 == 0 && w.y1 == Y {
+					err = st.ReadSliceInto(ctx.CopyIndex(), w.ref, raw)
+				} else {
+					err = st.ReadSliceRegionInto(ctx.CopyIndex(), w.ref, w.x0, w.x1, w.y0, w.y1, raw)
+				}
+				if err != nil {
 					return nil, err
 				}
 				window := getRegion(volume.Box{
@@ -111,7 +129,19 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 					break // closed mid-stream; the engine is aborting
 				}
 				if err != nil {
-					return err
+					w := windows[i]
+					if cfg.FaultPolicy != fault.SkipDegraded || !errors.Is(err, dataset.ErrDegradedData) {
+						return err
+					}
+					box := volume.Box{
+						Lo: [4]int{w.x0, w.y0, w.ref.Z, w.ref.T},
+						Hi: [4]int{w.x1, w.y1, w.ref.Z + 1, w.ref.T + 1},
+					}
+					if err := emitDegraded(ctx, cfg.Chunker, w.ref.Z, w.ref.T,
+						dataset.SliceID(meta, w.ref.Z, w.ref.T), box, iicCopies); err != nil {
+						return err
+					}
+					continue
 				}
 				if err := emitPieces(ctx, cfg.Chunker, windows[i].ref.Z, windows[i].ref.T, window, iicCopies); err != nil {
 					return err
@@ -159,8 +189,9 @@ func NewIIC(cfg IICConfig) func(int) filter.Filter {
 	return func(copy int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
 			type assembly struct {
-				region    *volume.Region
+				region    *volume.Region // nil until the first real piece arrives
 				remaining int
+				degraded  []int // slice ids lost to degraded reads (may repeat)
 			}
 			pending := map[int]*assembly{}
 			done := map[int]bool{}
@@ -169,34 +200,58 @@ func NewIIC(cfg IICConfig) func(int) filter.Filter {
 				if !ok {
 					break
 				}
-				piece, okType := m.Payload.(*PieceMsg)
-				if !okType {
+				var chunkIdx int
+				switch p := m.Payload.(type) {
+				case *PieceMsg:
+					chunkIdx = p.Chunk
+				case *DegradedPieceMsg:
+					chunkIdx = p.Chunk
+				default:
 					return fmt.Errorf("filters: IIC received %T", m.Payload)
 				}
-				if owner := chunkOwnerIIC(piece.Chunk, ctx.NumCopies()); owner != ctx.CopyIndex() {
+				if owner := chunkOwnerIIC(chunkIdx, ctx.NumCopies()); owner != ctx.CopyIndex() {
 					return fmt.Errorf("filters: chunk %d piece routed to IIC copy %d, owner is %d",
-						piece.Chunk, ctx.CopyIndex(), owner)
+						chunkIdx, ctx.CopyIndex(), owner)
 				}
-				if done[piece.Chunk] {
-					return fmt.Errorf("filters: chunk %d received data after completion", piece.Chunk)
+				if done[chunkIdx] {
+					return fmt.Errorf("filters: chunk %d received data after completion", chunkIdx)
 				}
 				met := ctx.Metrics()
 				sp := met.StartAssemble()
-				chunkIdx := piece.Chunk // survives the Recycle below
 				ch := cfg.Chunker.Chunk(chunkIdx)
 				a := pending[chunkIdx]
 				if a == nil {
-					a = &assembly{region: volume.NewRegion(ch.Voxels), remaining: ch.Voxels.NumVoxels()}
+					a = &assembly{remaining: ch.Voxels.NumVoxels()}
 					pending[chunkIdx] = a
 				}
-				a.remaining -= a.region.CopyFrom(piece.Region)
-				piece.Recycle()
+				switch p := m.Payload.(type) {
+				case *PieceMsg:
+					if a.region == nil {
+						a.region = volume.NewRegion(ch.Voxels)
+					}
+					a.remaining -= a.region.CopyFrom(p.Region)
+					p.Recycle()
+				case *DegradedPieceMsg:
+					// The reader windows are disjoint, so a lost window's
+					// voxels were counted exactly once and never also arrive
+					// as data; the accounting stays exact without them.
+					a.remaining -= p.Box.NumVoxels()
+					a.degraded = append(a.degraded, p.Slice)
+				}
 				sp.End()
 				if a.remaining < 0 {
 					return fmt.Errorf("filters: chunk %d received overlapping pieces", chunkIdx)
 				}
 				if a.remaining == 0 {
-					out := &ChunkMsg{Chunk: chunkIdx, Origins: ch.Origins, Region: a.region}
+					var out filter.Payload
+					if len(a.degraded) > 0 {
+						// Any lost input poisons the whole chunk: texture
+						// windows cross piece boundaries, so partial data
+						// cannot produce trustworthy parameters.
+						out = &DegradedChunkMsg{Chunk: chunkIdx, Origins: ch.Origins, Slices: dedupSlices(a.degraded)}
+					} else {
+						out = &ChunkMsg{Chunk: chunkIdx, Origins: ch.Origins, Region: a.region}
+					}
 					emit := met.StartEmit()
 					err := ctx.Send(PortOut, out)
 					emit.End()

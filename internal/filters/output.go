@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -44,6 +45,13 @@ func NewUSO(cfg USOConfig) func(int) filter.Filter {
 				m, ok := ctx.Recv()
 				if !ok {
 					break
+				}
+				if _, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
+					// Nothing to persist for a degraded chunk: the record
+					// files simply never cover its boxes. Duplicate records
+					// from failover redelivery are harmless too — ReadUSODir
+					// applies them with idempotent StoreInto overwrites.
+					continue
 				}
 				pm, okType := m.Payload.(*ParamMsg)
 				if !okType {
@@ -184,13 +192,51 @@ func NewHIC(cfg HICConfig) func(int) filter.Filter {
 			type assembly struct {
 				grid      *volume.FloatGrid
 				remaining int
+				seen      map[volume.Box]bool // failover redelivery dedupe
 			}
 			total := volume.NumVoxels(cfg.OutDims)
 			pending := map[features.Feature]*assembly{}
+			done := map[features.Feature]bool{}
+			// Degraded chunks shrink every feature's completion target; the
+			// grid simply keeps zeros over their boxes. Notices are deduped
+			// by chunk id (explicit fan-out plus redelivery can repeat them).
+			degChunks := map[int]bool{}
+			degTotal := 0
+			finish := func(ft features.Feature, a *assembly) error {
+				lo, hi := a.grid.MinMax()
+				out := &AssembledMsg{Feature: ft, Grid: a.grid, Min: lo, Max: hi}
+				emit := ctx.Metrics().StartEmit()
+				err := ctx.Send(PortOut, out)
+				emit.End()
+				if err != nil {
+					return err
+				}
+				delete(pending, ft)
+				done[ft] = true
+				return nil
+			}
 			for {
 				m, ok := ctx.Recv()
 				if !ok {
 					break
+				}
+				if dm, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
+					if degChunks[dm.Chunk] {
+						continue
+					}
+					degChunks[dm.Chunk] = true
+					v := dm.Origins.NumVoxels()
+					degTotal += v
+					// Shrink in-flight assemblies too; one may complete now.
+					for ft, a := range pending {
+						a.remaining -= v
+						if a.remaining == 0 {
+							if err := finish(ft, a); err != nil {
+								return err
+							}
+						}
+					}
+					continue
 				}
 				pm, okType := m.Payload.(*ParamMsg)
 				if !okType {
@@ -199,13 +245,23 @@ func NewHIC(cfg HICConfig) func(int) filter.Filter {
 				if err := pm.Validate(); err != nil {
 					return err
 				}
+				if done[pm.Feature] {
+					pm.Recycle() // redelivered duplicate of a finished feature
+					continue
+				}
 				met := ctx.Metrics()
 				sp := met.StartAssemble()
 				a := pending[pm.Feature]
 				if a == nil {
-					a = &assembly{grid: volume.NewFloatGrid(cfg.OutDims), remaining: total}
+					a = &assembly{grid: volume.NewFloatGrid(cfg.OutDims), remaining: total - degTotal, seen: map[volume.Box]bool{}}
 					pending[pm.Feature] = a
 				}
+				if a.seen[pm.Box] {
+					sp.End()
+					pm.Recycle()
+					continue
+				}
+				a.seen[pm.Box] = true
 				fr := &volume.FloatRegion{Box: pm.Box, Data: pm.Values}
 				fr.StoreInto(a.grid)
 				a.remaining -= pm.Box.NumVoxels()
@@ -216,15 +272,9 @@ func NewHIC(cfg HICConfig) func(int) filter.Filter {
 				ft := pm.Feature
 				pm.Recycle() // values copied into the grid above
 				if a.remaining == 0 {
-					lo, hi := a.grid.MinMax()
-					out := &AssembledMsg{Feature: ft, Grid: a.grid, Min: lo, Max: hi}
-					emit := met.StartEmit()
-					err := ctx.Send(PortOut, out)
-					emit.End()
-					if err != nil {
+					if err := finish(ft, a); err != nil {
 						return err
 					}
-					delete(pending, ft)
 				}
 			}
 			if len(pending) != 0 {
@@ -319,20 +369,48 @@ type Results struct {
 	dims   [4]int
 	grids  map[features.Feature]*volume.FloatGrid
 	filled map[features.Feature]int
+	// seen dedupes exact portion boxes per feature: under copy failover the
+	// runtime redelivers in-flight buffers of crashed copies, so a sink may
+	// legitimately see the same portion twice. A *different* overlapping box
+	// still overfills — that remains a routing bug worth failing on.
+	seen map[features.Feature]map[volume.Box]bool
+	// Degraded-chunk bookkeeping (SkipDegraded runs): chunk id → its ROI
+	// origin box, plus the union of lost slice ids. Origins partition the
+	// output space, so their voxel counts sum exactly.
+	degChunks map[int]volume.Box
+	degSlices map[int]bool
+	degVoxels int
 }
 
 // NewResults returns an empty result sink for the given output dimensions.
 func NewResults(outDims [4]int) *Results {
-	return &Results{dims: outDims, grids: map[features.Feature]*volume.FloatGrid{}, filled: map[features.Feature]int{}}
+	return &Results{
+		dims:      outDims,
+		grids:     map[features.Feature]*volume.FloatGrid{},
+		filled:    map[features.Feature]int{},
+		seen:      map[features.Feature]map[volume.Box]bool{},
+		degChunks: map[int]volume.Box{},
+		degSlices: map[int]bool{},
+	}
 }
 
-// add applies one parameter portion.
+// add applies one parameter portion. Exact duplicates (failover redelivery)
+// are skipped silently.
 func (r *Results) add(pm *ParamMsg) error {
 	if err := pm.Validate(); err != nil {
 		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	boxes := r.seen[pm.Feature]
+	if boxes == nil {
+		boxes = map[volume.Box]bool{}
+		r.seen[pm.Feature] = boxes
+	}
+	if boxes[pm.Box] {
+		return nil
+	}
+	boxes[pm.Box] = true
 	g := r.grids[pm.Feature]
 	if g == nil {
 		g = volume.NewFloatGrid(r.dims)
@@ -347,6 +425,21 @@ func (r *Results) add(pm *ParamMsg) error {
 	return nil
 }
 
+// markDegraded records one degraded-chunk notice, deduplicating by chunk id
+// (redelivery can repeat notices too).
+func (r *Results) markDegraded(dm *DegradedChunkMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.degChunks[dm.Chunk]; dup {
+		return
+	}
+	r.degChunks[dm.Chunk] = dm.Origins
+	r.degVoxels += dm.Origins.NumVoxels()
+	for _, s := range dm.Slices {
+		r.degSlices[s] = true
+	}
+}
+
 // Grid returns the assembled grid for one feature (nil if absent).
 func (r *Results) Grid(f features.Feature) *volume.FloatGrid {
 	r.mu.Lock()
@@ -354,14 +447,41 @@ func (r *Results) Grid(f features.Feature) *volume.FloatGrid {
 	return r.grids[f]
 }
 
-// Complete checks that every feature in want is fully assembled.
+// Degraded reports what SkipDegraded dropped: the sorted lost slice ids, the
+// affected chunks' ROI-origin boxes (in chunk-id order) and the total output
+// voxels left unfilled per feature. All zero/empty on a clean run.
+func (r *Results) Degraded() (slices []int, rois []volume.Box, voxels int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.degChunks) == 0 {
+		return nil, nil, 0
+	}
+	chunkIDs := make([]int, 0, len(r.degChunks))
+	for id := range r.degChunks {
+		chunkIDs = append(chunkIDs, id)
+	}
+	sort.Ints(chunkIDs)
+	rois = make([]volume.Box, len(chunkIDs))
+	for i, id := range chunkIDs {
+		rois[i] = r.degChunks[id]
+	}
+	slices = make([]int, 0, len(r.degSlices))
+	for s := range r.degSlices {
+		slices = append(slices, s)
+	}
+	sort.Ints(slices)
+	return slices, rois, r.degVoxels
+}
+
+// Complete checks that every feature in want is fully assembled, allowing
+// for output voxels explicitly surrendered to degraded chunks.
 func (r *Results) Complete(want []features.Feature) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	total := volume.NumVoxels(r.dims)
 	for _, f := range want {
-		if r.filled[f] != total {
-			return fmt.Errorf("filters: feature %v has %d/%d values", f, r.filled[f], total)
+		if r.filled[f]+r.degVoxels != total {
+			return fmt.Errorf("filters: feature %v has %d/%d values", f, r.filled[f], total-r.degVoxels)
 		}
 	}
 	return nil
@@ -376,6 +496,10 @@ func NewCollector(res *Results) func(int) filter.Filter {
 				m, ok := ctx.Recv()
 				if !ok {
 					return nil
+				}
+				if dm, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
+					res.markDegraded(dm)
+					continue
 				}
 				pm, okType := m.Payload.(*ParamMsg)
 				if !okType {

@@ -93,6 +93,12 @@ func NewHMP(cfg TextureConfig) func(int) filter.Filter {
 				if !ok {
 					return nil
 				}
+				if dm, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
+					if err := forwardDegraded(ctx, &cfg, dm); err != nil {
+						return err
+					}
+					continue
+				}
 				chunk, okType := m.Payload.(*ChunkMsg)
 				if !okType {
 					return fmt.Errorf("filters: HMP received %T", m.Payload)
@@ -144,6 +150,14 @@ func NewHCC(cfg TextureConfig) func(int) filter.Filter {
 				m, ok := ctx.Recv()
 				if !ok {
 					return nil
+				}
+				if dm, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
+					// One notice per degraded chunk — no packet split; the
+					// HPC side forwards it on unchanged.
+					if err := ctx.Send(PortOut, dm); err != nil {
+						return err
+					}
+					continue
 				}
 				chunk, okType := m.Payload.(*ChunkMsg)
 				if !okType {
@@ -201,6 +215,12 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 				m, ok := ctx.Recv()
 				if !ok {
 					return nil
+				}
+				if dm, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
+					if err := forwardDegraded(ctx, &cfg, dm); err != nil {
+						return err
+					}
+					continue
 				}
 				batch, okType := m.Payload.(*MatrixBatchMsg)
 				if !okType {

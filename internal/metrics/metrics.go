@@ -220,4 +220,11 @@ type Conn struct {
 	Send                  Timer
 	MsgsIn, WireBytesIn   Counter
 	Recv                  Timer
+
+	// Fault-tolerance counters, active when the transport runs with a
+	// RetryPolicy: envelope retransmissions, successful reconnects, duplicate
+	// envelopes dropped by the receiver's sequence filter, and receive-side
+	// decode failures recovered by retransmission.
+	Retries, Redials        Counter
+	DupsDropped, RecvErrors Counter
 }

@@ -47,6 +47,10 @@ type CopyReport struct {
 	Spans         map[string]SpanStat `json:"spans,omitempty"`
 	PoolHits      int64               `json:"pool_hits,omitempty"`
 	PoolMisses    int64               `json:"pool_misses,omitempty"`
+	// Failed marks a copy whose failure the engine tolerated via failover;
+	// Failure records the tolerated error.
+	Failed  bool   `json:"failed,omitempty"`
+	Failure string `json:"failure,omitempty"`
 }
 
 // FilterReport is one logical filter's table entry: per-copy rows plus
@@ -64,6 +68,11 @@ type FilterReport struct {
 	Spans         map[string]SpanStat `json:"spans,omitempty"`
 	PoolHits      int64               `json:"pool_hits,omitempty"`
 	PoolMisses    int64               `json:"pool_misses,omitempty"`
+	// CopyFailures counts copies whose failure was tolerated by failover
+	// (aggregated by Finalize); Redelivered counts buffers requeued from dead
+	// copies to surviving siblings (engine-provided, preserved by Finalize).
+	CopyFailures int   `json:"copy_failures,omitempty"`
+	Redelivered  int64 `json:"redelivered,omitempty"`
 }
 
 // StreamReport is one stream bundle's (connection's) table entry.
@@ -94,6 +103,14 @@ type ConnReport struct {
 	MsgsIn       int64 `json:"msgs_in"`
 	WireBytesIn  int64 `json:"wire_bytes_in"`
 	RecvNS       int64 `json:"recv_ns"`
+	// Fault-tolerance counters, populated when a RetryPolicy is active:
+	// envelope retransmissions, successful reconnects, duplicate envelopes
+	// dropped by the sequence filter, and receive-side decode failures
+	// recovered by retransmission.
+	Retries     int64 `json:"retries,omitempty"`
+	Redials     int64 `json:"redials,omitempty"`
+	DupsDropped int64 `json:"dups_dropped,omitempty"`
+	RecvErrors  int64 `json:"recv_errors,omitempty"`
 }
 
 // PathEntry is one filter's row of the critical-path summary: the mean
@@ -162,6 +179,7 @@ func (r *RunReport) Finalize() {
 		f.BusyNS, f.BlockedRecvNS, f.StalledSendNS = 0, 0, 0
 		f.MsgsIn, f.MsgsOut, f.BytesIn, f.BytesOut = 0, 0, 0, 0
 		f.PoolHits, f.PoolMisses = 0, 0
+		f.CopyFailures = 0 // Redelivered is engine-provided, not re-derived
 		f.Spans = nil
 		for _, c := range f.Copies {
 			f.BusyNS += c.BusyNS
@@ -173,6 +191,9 @@ func (r *RunReport) Finalize() {
 			f.BytesOut += c.BytesOut
 			f.PoolHits += c.PoolHits
 			f.PoolMisses += c.PoolMisses
+			if c.Failed {
+				f.CopyFailures++
+			}
 			for name, st := range c.Spans {
 				if f.Spans == nil {
 					f.Spans = map[string]SpanStat{}
@@ -256,6 +277,9 @@ func (r *RunReport) String() string {
 			fmt.Fprintf(&b, "    pool hit=%d miss=%d (%.1f%% hit)\n", f.PoolHits, f.PoolMisses,
 				100*float64(f.PoolHits)/float64(f.PoolHits+f.PoolMisses))
 		}
+		if f.CopyFailures > 0 || f.Redelivered > 0 {
+			fmt.Fprintf(&b, "    failover failed-copies=%d redelivered=%d\n", f.CopyFailures, f.Redelivered)
+		}
 	}
 	if len(r.Streams) > 0 {
 		fmt.Fprintf(&b, "streams:\n")
@@ -272,6 +296,10 @@ func (r *RunReport) String() string {
 		for _, c := range r.Network {
 			fmt.Fprintf(&b, "  %3d -> %-3d %8d %14d %12.2f %8d %14d %12.2f\n",
 				c.FromNode, c.ToNode, c.MsgsOut, c.WireBytesOut, ms(c.SendNS), c.MsgsIn, c.WireBytesIn, ms(c.RecvNS))
+			if c.Retries+c.Redials+c.DupsDropped+c.RecvErrors > 0 {
+				fmt.Fprintf(&b, "    retries=%d redials=%d dups-dropped=%d recv-errors=%d\n",
+					c.Retries, c.Redials, c.DupsDropped, c.RecvErrors)
+			}
 		}
 	}
 	if len(r.Summary.Entries) > 0 {

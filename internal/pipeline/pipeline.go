@@ -8,11 +8,13 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"net"
 
 	"haralick4d/internal/cluster"
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
 	"haralick4d/internal/dicom"
+	"haralick4d/internal/fault"
 	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/filters"
@@ -90,6 +92,11 @@ type Config struct {
 	Policy          filter.Policy // buffer scheduling into texture (and HPC) copies
 	Output          OutputMode
 	OutDir          string // for OutputUSO / OutputJPEG
+	// FaultPolicy selects how the readers handle degraded slices (checksum
+	// mismatch, truncation, missing file): fault.FailFast (zero value)
+	// aborts the run, fault.SkipDegraded completes the healthy remainder and
+	// reports what was skipped.
+	FaultPolicy fault.Policy
 }
 
 // Validate normalizes the config and reports the first problem.
@@ -166,11 +173,12 @@ func Build(store *dataset.Store, cfg *Config, layout *Layout) (*filter.Graph, *f
 		Name:   "RFR",
 		Copies: len(srcNodes),
 		New: filters.NewRFR(filters.RFRConfig{
-			Store:      store,
-			Chunker:    chunker,
-			GrayLevels: cfg.Analysis.GrayLevels,
-			IOChunk:    cfg.IOChunk,
-			ReadAhead:  cfg.ReadAhead,
+			Store:       store,
+			Chunker:     chunker,
+			GrayLevels:  cfg.Analysis.GrayLevels,
+			IOChunk:     cfg.IOChunk,
+			ReadAhead:   cfg.ReadAhead,
+			FaultPolicy: cfg.FaultPolicy,
 		}),
 		Nodes: srcNodes,
 	})
@@ -217,10 +225,11 @@ func BuildDICOM(study *dicom.Study, cfg *Config, layout *Layout) (*filter.Graph,
 		Name:   "DFR",
 		Copies: len(srcNodes),
 		New: filters.NewDFR(filters.DFRConfig{
-			Study:      study,
-			Chunker:    chunker,
-			GrayLevels: cfg.Analysis.GrayLevels,
-			ReadAhead:  cfg.ReadAhead,
+			Study:       study,
+			Chunker:     chunker,
+			GrayLevels:  cfg.Analysis.GrayLevels,
+			ReadAhead:   cfg.ReadAhead,
+			FaultPolicy: cfg.FaultPolicy,
 		}),
 		Nodes: srcNodes,
 	})
@@ -373,6 +382,16 @@ type RunOptions struct {
 	// WireCodec selects the serialization for buffers crossing nodes on the
 	// TCP engine; the zero value keeps the original gob streams.
 	WireCodec filter.Codec
+	// Failover lets surviving copies of transparently-routed filters take
+	// over the un-acked buffers of a crashed copy (local and TCP engines;
+	// the simulated cluster models fault-free hardware and ignores it).
+	Failover bool
+	// Retry enables bounded reconnect-and-retransmit on the TCP engine's
+	// node links; nil or MaxAttempts <= 1 keeps single-shot sends.
+	Retry *filter.RetryPolicy
+	// WrapConn, when non-nil, wraps every outbound TCP node link — the fault
+	// injection hook (see internal/fault.FlakyConn). TCP engine only.
+	WrapConn func(c net.Conn, fromNode, toNode int) net.Conn
 }
 
 // Run executes a built graph on the selected engine.
@@ -388,10 +407,13 @@ func RunContext(ctx context.Context, g *filter.Graph, engine Engine, opts *RunOp
 	}
 	switch engine {
 	case EngineLocal:
-		return filter.RunLocalContext(ctx, g, &filter.Options{QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics})
+		return filter.RunLocalContext(ctx, g, &filter.Options{
+			QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics, Failover: opts.Failover,
+		})
 	case EngineTCP:
 		return filter.RunTCPContext(ctx, g, &filter.Options{
 			QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics, WireCodec: opts.WireCodec,
+			Failover: opts.Failover, Retry: opts.Retry, WrapConn: opts.WrapConn,
 		})
 	case EngineSim:
 		topo := opts.Topology

@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"haralick4d/internal/cliflags"
 	"haralick4d/internal/experiments"
 	"haralick4d/internal/metrics"
 )
@@ -46,12 +47,23 @@ func main() {
 		computeS = flag.Float64("compute-scale", experiments.DefaultComputeScale, "virtual seconds per host second on a speed-1 node")
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers inside each texture filter (0 = all CPUs, 1 = sequential reference kernel; the kernel figure sweeps this itself)")
 		rdAhead  = flag.Int("readahead", 4, "I/O windows the reader filters fetch ahead of the pipeline (0 = synchronous reads; outputs are identical either way)")
+		// Only the watchdog half of the restart surface is exposed here:
+		// resuming a half-finished figure sweep from a checkpoint would
+		// splice timings from two separate processes into one curve, so the
+		// checkpoint/-resume flags are deliberately haralick4d-only.
+		stallS   = flag.String("stall-timeout", "", "fail a figure's engine run if no filter makes progress for this long, e.g. 5m (default: disabled; the simulated engine runs in virtual time and ignores it)")
 		metricsF = flag.Bool("metrics", false, "after each figure, print the run report of its last engine run")
 		metJSON  = flag.String("metrics-json", "", "write the last figure's run report as JSON to this file (\"-\" for stdout)")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
 	if err := validateCountFlags(*rdAhead, *kworkers); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	_, stallTimeout, err := cliflags.ParseRestartFlags("", false, "", *stallS)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -91,6 +103,7 @@ func main() {
 	env.ComputeScale = *computeS
 	env.KernelWorkers = *kworkers
 	env.ReadAhead = *rdAhead
+	env.StallTimeout = stallTimeout
 
 	ids := experiments.AllIDs()
 	if *fig != "" {

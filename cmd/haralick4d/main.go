@@ -24,6 +24,8 @@ import (
 	"os/signal"
 	"strings"
 
+	"haralick4d/internal/checkpoint"
+	"haralick4d/internal/cliflags"
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
 	"haralick4d/internal/dicom"
@@ -90,6 +92,11 @@ func main() {
 		featS    = flag.String("features", "", "comma-separated feature names (default: the paper's four)")
 		ndim     = flag.Int("ndim", 4, "direction-set dimensionality (1-4)")
 		dist     = flag.Int("distance", 1, "displacement distance")
+		ckptS    = flag.String("checkpoint", "", "durable progress journal path; makes the run resumable after a crash (formats uso/none)")
+		ckptIntS = flag.String("checkpoint-interval", "", "journal fsync cadence, e.g. 500ms (default 1s; requires -checkpoint)")
+		resumeF  = flag.Bool("resume", false, "resume from the -checkpoint journal of an interrupted run of the same configuration")
+		stallS   = flag.String("stall-timeout", "", "fail the run if no filter makes progress for this long, e.g. 2m (default: wait forever)")
+		crashN   = flag.Int("crash-after", 0, "TESTING: crash texture copy 0 after receiving this many buffers (0 = never)")
 		stats    = flag.Bool("stats", false, "print per-filter runtime statistics")
 		metricsF = flag.Bool("metrics", false, "print the structured run report (per-filter spans, streams, critical path)")
 		metJSON  = flag.String("metrics-json", "", "write the run report as JSON to this file (\"-\" for stdout)")
@@ -129,6 +136,12 @@ func main() {
 		fail("%v", err)
 	}
 	if err := validateCountFlags(*rdAhead, *kworkers); err != nil {
+		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	ckptInterval, stallTimeout, err := cliflags.ParseRestartFlags(*ckptS, *resumeF, *ckptIntS, *stallS)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -247,6 +260,17 @@ func main() {
 			fail("%v", err)
 		}
 	}
+	var journal *checkpoint.Journal
+	if *ckptS != "" {
+		j, restart, err := pipeline.PrepareCheckpoint(dims, cfg, *ckptS, *resumeF, ckptInterval)
+		if err != nil {
+			fail("%v", err)
+		}
+		journal = j
+		if *resumeF {
+			fmt.Println(restart)
+		}
+	}
 
 	if *pprofAt != "" {
 		go func() {
@@ -261,15 +285,34 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if *crashN > 0 {
+		// Fault-injection hook for the restart smoke test: kill the first
+		// texture copy while it holds an in-flight buffer.
+		name := "HMP"
+		if cfg.Impl == pipeline.SplitImpl {
+			name = "HCC"
+		}
+		if spec, ok := g.Filter(name); ok {
+			spec.New = fault.CrashAfter(spec.New, 0, *crashN)
+		}
+	}
 	fmt.Printf("dataset %v, ROI %v, G=%d, %s/%s/%s on %s engine\n",
 		dims, cfg.Analysis.ROI, cfg.Analysis.GrayLevels, cfg.Impl, cfg.Analysis.Representation, cfg.Policy, engine)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	rs, err := pipeline.RunContext(ctx, g, engine, &pipeline.RunOptions{
-		WireCodec: codec,
-		Retry:     retry,
-		Failover:  faultPolicy == fault.SkipDegraded,
+		WireCodec:    codec,
+		Retry:        retry,
+		Failover:     faultPolicy == fault.SkipDegraded,
+		StallTimeout: stallTimeout,
 	})
+	if journal != nil {
+		// Close regardless of the run's outcome: the journal is the artifact
+		// a later -resume trusts, so whatever landed must reach the disk.
+		if cerr := journal.Close(); cerr != nil && err == nil {
+			fail("%v", cerr)
+		}
+	}
 	if err != nil {
 		fail("%v", err)
 	}

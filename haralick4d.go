@@ -20,9 +20,11 @@ package haralick4d
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"time"
 
+	"haralick4d/internal/checkpoint"
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
 	"haralick4d/internal/fault"
@@ -145,6 +147,28 @@ type Options struct {
 	// carried for callers driving the TCP engine through the pipeline
 	// package; nil keeps single-shot sends.
 	Retry *RetryPolicy
+	// Checkpoint is the path of a durable progress journal (AnalyzeDataset
+	// only): every assembled output portion is recorded there as it lands,
+	// so a crashed or killed run can be continued with Resume instead of
+	// restarted. Empty disables checkpointing.
+	Checkpoint string
+	// CheckpointInterval is the journal's fsync cadence: records are written
+	// through on every append but only forced to stable storage this often
+	// (plus once on Close). 0 selects the 1s default; larger values trade
+	// crash-window size for fewer fsyncs. Must not be negative.
+	CheckpointInterval time.Duration
+	// Resume reopens the Checkpoint journal from an earlier run of the same
+	// configuration: verified recovered portions are trusted, fully-durable
+	// chunks are never re-read or recomputed, and the final Result is
+	// bit-identical to an uninterrupted run. Requires Checkpoint.
+	Resume bool
+	// StallTimeout arms a watchdog over the run: if no filter copy anywhere
+	// makes progress for this long, the run fails with an error matching
+	// ErrStalled that names the wedged copies — instead of hanging forever
+	// on, say, a dead NFS mount. It is a global no-progress deadline, not a
+	// per-operation one; it must comfortably exceed the longest single
+	// read/compute the run can legitimately perform. 0 disables.
+	StallTimeout time.Duration
 }
 
 // Validate checks the options and reports the first problem — the same
@@ -153,7 +177,30 @@ type Options struct {
 // defaults.
 func (o *Options) Validate() error {
 	_, err := o.coreConfig()
-	return err
+	if err != nil {
+		return err
+	}
+	return o.validateRestart()
+}
+
+// validateRestart checks the checkpoint/watchdog option subset.
+func (o *Options) validateRestart() error {
+	if o == nil {
+		return nil
+	}
+	if o.CheckpointInterval < 0 {
+		return fmt.Errorf("haralick4d: CheckpointInterval must not be negative")
+	}
+	if o.CheckpointInterval > 0 && o.Checkpoint == "" {
+		return fmt.Errorf("haralick4d: CheckpointInterval set without a Checkpoint path")
+	}
+	if o.Resume && o.Checkpoint == "" {
+		return fmt.Errorf("haralick4d: Resume requires a Checkpoint path")
+	}
+	if o.StallTimeout < 0 {
+		return fmt.Errorf("haralick4d: StallTimeout must not be negative")
+	}
+	return nil
 }
 
 func (o *Options) coreConfig() (core.Config, error) {
@@ -205,7 +252,20 @@ var (
 	// ErrAllCopiesDead marks the terminal failover state: every copy of a
 	// filter has crashed.
 	ErrAllCopiesDead = filter.ErrAllCopiesDead
+	// ErrStalled marks a run killed by the Options.StallTimeout watchdog;
+	// the full error names the copies that stopped making progress.
+	ErrStalled = filter.ErrStalled
+	// ErrCheckpointMismatch marks a Resume against a journal written by a
+	// run with a different configuration.
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+	// ErrCheckpointCorrupt marks a journal whose checksummed body holds
+	// semantically invalid records — damage a torn tail cannot explain.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
 )
+
+// RestartSummary reports what a resumed analysis recovered from its journal
+// (see Result.Restart).
+type RestartSummary = pipeline.RestartSummary
 
 // DegradedSummary reports what a SkipDegraded analysis had to drop.
 type DegradedSummary struct {
@@ -243,6 +303,9 @@ type Result struct {
 	// Degraded summarizes data a SkipDegraded run skipped; nil when the run
 	// was clean (and always nil under FailFast, which errors instead).
 	Degraded *DegradedSummary
+	// Restart reports what a Resume run recovered from its checkpoint
+	// journal; nil unless Options.Resume was set.
+	Restart *RestartSummary
 }
 
 // Analyze runs 4D Haralick texture analysis over an in-memory volume: the
@@ -262,6 +325,14 @@ func AnalyzeContext(ctx context.Context, v *Volume, opts *Options) (*Result, err
 	cfg, err := opts.coreConfig()
 	if err != nil {
 		return nil, err
+	}
+	if err := opts.validateRestart(); err != nil {
+		return nil, err
+	}
+	if opts != nil && opts.Checkpoint != "" {
+		// The in-memory path holds no disk-resident inputs to re-read on a
+		// later life, so a journal could never be honoured.
+		return nil, fmt.Errorf("haralick4d: checkpointing requires a disk-resident dataset (AnalyzeDataset)")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -322,7 +393,11 @@ func analyzeGrid(ctx context.Context, grid *volume.Grid, cfg core.Config, opts *
 	if err != nil {
 		return nil, err
 	}
-	rs, err := pipeline.RunContext(ctx, g, pipeline.EngineLocal, &pipeline.RunOptions{DisableMetrics: !metricsOn})
+	ropts := &pipeline.RunOptions{DisableMetrics: !metricsOn}
+	if opts != nil {
+		ropts.StallTimeout = opts.StallTimeout
+	}
+	rs, err := pipeline.RunContext(ctx, g, pipeline.EngineLocal, ropts)
 	if err != nil {
 		return nil, err
 	}
@@ -360,6 +435,9 @@ func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Res
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.validateRestart(); err != nil {
+		return nil, err
+	}
 	st, err := dataset.Open(dir)
 	if err != nil {
 		return nil, err
@@ -374,9 +452,20 @@ func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Res
 		pcfg.ReadAhead = opts.ReadAhead
 		pcfg.FaultPolicy = opts.FaultPolicy
 	}
+	var jour *checkpoint.Journal
+	var restart *pipeline.RestartSummary
+	if opts != nil && opts.Checkpoint != "" {
+		jour, restart, err = pipeline.PrepareCheckpoint(st.Meta.Dims, pcfg, opts.Checkpoint, opts.Resume, opts.CheckpointInterval)
+		if err != nil {
+			return nil, err
+		}
+	}
 	layout := &pipeline.Layout{HMPNodes: make([]int, opts.workers())}
 	g, sink, outDims, err := pipeline.Build(st, pcfg, layout)
 	if err != nil {
+		if jour != nil {
+			jour.Close()
+		}
 		return nil, err
 	}
 	ropts := &pipeline.RunOptions{DisableMetrics: opts != nil && opts.DisableMetrics}
@@ -385,15 +474,31 @@ func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Res
 		// copies fail over to survivors instead of aborting.
 		ropts.Failover = opts.FaultPolicy == SkipDegraded
 		ropts.Retry = opts.Retry
+		ropts.StallTimeout = opts.StallTimeout
 	}
 	rs, err := pipeline.RunContext(ctx, g, pipeline.EngineLocal, ropts)
 	if err != nil {
+		if jour != nil {
+			// Best-effort final sync: the journal is the artifact the next
+			// life resumes from, so keep whatever landed before the failure.
+			jour.Close()
+		}
 		return nil, err
+	}
+	if jour != nil {
+		// Close errors matter on the success path: a journal that could not
+		// be made durable must not be reported as a completed checkpoint.
+		if err := jour.Close(); err != nil {
+			return nil, err
+		}
 	}
 	if err := sink.Complete(cfg.Features); err != nil {
 		return nil, err
 	}
 	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims, Report: rs.Report}
+	if opts != nil && opts.Resume {
+		res.Restart = restart
+	}
 	for _, f := range cfg.Features {
 		res.Grids[f] = sink.Grid(f)
 	}

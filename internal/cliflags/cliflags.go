@@ -1,0 +1,44 @@
+// Package cliflags holds flag-parsing helpers shared by the command-line
+// tools, so the two binaries that expose the checkpoint/watchdog surface
+// validate it identically.
+package cliflags
+
+import (
+	"fmt"
+	"time"
+)
+
+// ParseRestartFlags validates the checkpoint/restart and watchdog flag
+// subset and converts the duration strings. Empty strings select the
+// defaults: interval 0 (the journal's own 1s default) and stall 0
+// (watchdog disabled). Violations are usage errors — the CLIs print them
+// with flag.Usage() and exit 2.
+func ParseRestartFlags(checkpoint string, resume bool, intervalS, stallS string) (interval, stall time.Duration, err error) {
+	if resume && checkpoint == "" {
+		return 0, 0, fmt.Errorf("-resume requires -checkpoint with the journal path of the interrupted run")
+	}
+	if intervalS != "" {
+		if checkpoint == "" {
+			return 0, 0, fmt.Errorf("-checkpoint-interval without -checkpoint has nothing to sync")
+		}
+		d, perr := time.ParseDuration(intervalS)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("invalid -checkpoint-interval %q: %v", intervalS, perr)
+		}
+		if d <= 0 {
+			return 0, 0, fmt.Errorf("-checkpoint-interval must be positive, got %s", d)
+		}
+		interval = d
+	}
+	if stallS != "" {
+		d, perr := time.ParseDuration(stallS)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("invalid -stall-timeout %q: %v", stallS, perr)
+		}
+		if d <= 0 {
+			return 0, 0, fmt.Errorf("-stall-timeout must be positive, got %s", d)
+		}
+		stall = d
+	}
+	return interval, stall, nil
+}

@@ -1,0 +1,49 @@
+package cliflags
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRestartFlags(t *testing.T) {
+	cases := []struct {
+		name                 string
+		checkpoint           string
+		resume               bool
+		intervalS, stallS    string
+		wantInterval, wantSt time.Duration
+		wantErr              string
+	}{
+		{name: "all-defaults"},
+		{name: "checkpoint-only", checkpoint: "j"},
+		{name: "resume", checkpoint: "j", resume: true},
+		{name: "interval", checkpoint: "j", intervalS: "250ms", wantInterval: 250 * time.Millisecond},
+		{name: "stall", stallS: "2m", wantSt: 2 * time.Minute},
+		{name: "resume-without-checkpoint", resume: true, wantErr: "-resume requires -checkpoint"},
+		{name: "interval-without-checkpoint", intervalS: "1s", wantErr: "-checkpoint-interval without -checkpoint"},
+		{name: "zero-interval", checkpoint: "j", intervalS: "0s", wantErr: "-checkpoint-interval must be positive"},
+		{name: "negative-interval", checkpoint: "j", intervalS: "-1s", wantErr: "-checkpoint-interval must be positive"},
+		{name: "garbage-interval", checkpoint: "j", intervalS: "soon", wantErr: "invalid -checkpoint-interval"},
+		{name: "zero-stall", stallS: "0s", wantErr: "-stall-timeout must be positive"},
+		{name: "negative-stall", stallS: "-5s", wantErr: "-stall-timeout must be positive"},
+		{name: "garbage-stall", stallS: "whenever", wantErr: "invalid -stall-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			interval, stall, err := ParseRestartFlags(tc.checkpoint, tc.resume, tc.intervalS, tc.stallS)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if interval != tc.wantInterval || stall != tc.wantSt {
+				t.Fatalf("got (%s, %s), want (%s, %s)", interval, stall, tc.wantInterval, tc.wantSt)
+			}
+		})
+	}
+}

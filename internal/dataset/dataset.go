@@ -188,7 +188,7 @@ func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution
 			}
 			ref.CRC, ref.HasCRC = crc32.Checksum(buf, castagnoli), true
 			path := filepath.Join(dir, nodeDirName(node), ref.File)
-			if err := os.WriteFile(path, buf, 0o644); err != nil {
+			if err := atomicWriteFile(path, buf); err != nil {
 				return nil, fmt.Errorf("dataset: writing slice: %w", err)
 			}
 			indexes[node] = append(indexes[node], ref)
@@ -203,30 +203,51 @@ func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "dataset.json"), append(hdr, '\n'), 0o644); err != nil {
+	// The header is written last: a generation crash at any earlier point
+	// leaves a directory without dataset.json, which Open rejects outright
+	// instead of serving a partial dataset.
+	if err := atomicWriteFile(filepath.Join(dir, "dataset.json"), append(hdr, '\n')); err != nil {
 		return nil, fmt.Errorf("dataset: writing header: %w", err)
 	}
 	return meta, nil
 }
 
 func writeIndex(path string, refs []SliceRef) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("dataset: %w", err)
-	}
-	w := bufio.NewWriter(f)
+	var b strings.Builder
 	for _, r := range refs {
 		if r.HasCRC {
-			fmt.Fprintf(w, "%s %d %d %08x\n", r.File, r.T, r.Z, r.CRC)
+			fmt.Fprintf(&b, "%s %d %d %08x\n", r.File, r.T, r.Z, r.CRC)
 		} else {
-			fmt.Fprintf(w, "%s %d %d\n", r.File, r.T, r.Z)
+			fmt.Fprintf(&b, "%s %d %d\n", r.File, r.T, r.Z)
 		}
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+	if err := atomicWriteFile(path, []byte(b.String())); err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
-	return f.Close()
+	return nil
+}
+
+// atomicWriteFile publishes data at path via write-temp → fsync → rename, so
+// a crash mid-write leaves at worst an orphaned "*.tmp" the readers never
+// open — never a short or torn file under the final name.
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // Store provides read access to a dataset directory.

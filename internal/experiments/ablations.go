@@ -396,7 +396,7 @@ func Kernel(e *Env) (*Figure, error) {
 			if err != nil {
 				return nil, fmt.Errorf("kernel workers=%d: %w", w, err)
 			}
-			rs, err := pipeline.Run(g, pipeline.EngineLocal, nil)
+			rs, err := pipeline.Run(g, pipeline.EngineLocal, &pipeline.RunOptions{StallTimeout: e.StallTimeout})
 			if err != nil {
 				return nil, fmt.Errorf("kernel workers=%d: %w", w, err)
 			}

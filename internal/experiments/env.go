@@ -14,6 +14,7 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
@@ -122,6 +123,11 @@ type Env struct {
 	// figure's shape exactly as the paper's single-threaded filters produce
 	// it. The `kernel` figure sweeps this knob explicitly.
 	KernelWorkers int
+	// StallTimeout arms the filter runtime's no-progress watchdog on the
+	// figures' engine runs, so an unattended sweep fails with a diagnostic
+	// instead of hanging. The simulated cluster runs in virtual time and
+	// ignores it; the local-engine ablations honour it. 0 disables.
+	StallTimeout time.Duration
 	// LastReport is the observability report of the most recent engine run
 	// an experiment performed (the best repetition of the last simulated
 	// configuration). cmd/experiments surfaces it behind -metrics.

@@ -90,6 +90,7 @@ func (e *Env) simulate(mk func() (*pipeline.Config, *pipeline.Layout, error), to
 			Topology:     topo,
 			QueueDepth:   e.QueueDepth,
 			ComputeScale: e.ComputeScale,
+			StallTimeout: e.StallTimeout,
 		})
 		if err != nil {
 			return nil, err

@@ -46,6 +46,15 @@ type Options struct {
 	// successful dial — the hook used by fault injection (fault.FlakyConn) in
 	// chaos tests. The arguments are the producer and consumer node indices.
 	WrapConn func(c net.Conn, fromNode, toNode int) net.Conn
+	// StallTimeout arms the stall watchdog: when no filter copy anywhere in
+	// the graph makes progress (accepts, delivers, or completes any
+	// instrumented span) for longer than this, the run fails with a
+	// StallError naming the unfinished copies instead of hanging forever.
+	// The deadline is global, so backpressure behind a slow-but-working
+	// filter never trips it; it must exceed the longest time a single
+	// buffer can legitimately spend inside one filter call. 0 (the default)
+	// disables the watchdog.
+	StallTimeout time.Duration
 }
 
 func (o *Options) depth() int {
@@ -106,6 +115,13 @@ type copyState struct {
 	dead    atomic.Bool
 	failMsg string
 
+	// Stall-watchdog state: beats counts engine-level progress events
+	// (buffers accepted and delivered), phase labels what the copy is doing
+	// (see watchdog.go). Both are written on the hot path and sampled by the
+	// watchdog goroutine.
+	beats atomic.Int64
+	phase atomic.Int32
+
 	// Consumption-rate observations for demand-driven scheduling, updated
 	// by the consumer goroutine and read by producers.
 	svcCompute atomic.Int64 // total compute ns
@@ -140,6 +156,11 @@ type runtime struct {
 	trans     transport
 	engine    string // "local" or "tcp", recorded in the report
 	metricsOn bool
+	stall     time.Duration // watchdog deadline; 0 = no watchdog
+	// stalled is closed by the watchdog when it trips, telling run not to
+	// wait forever on goroutines wedged inside filter code. Nil when the
+	// watchdog is off.
+	stalled chan struct{}
 	// failover has an entry per failover-eligible filter (nil map when the
 	// option is off).
 	failover map[string]*failoverState
@@ -163,6 +184,10 @@ func newRuntime(g *Graph, opts *Options, trans transport) (*runtime, error) {
 		trans:     trans,
 		metricsOn: opts == nil || !opts.DisableMetrics,
 		done:      make(chan struct{}),
+	}
+	if opts != nil && opts.StallTimeout > 0 {
+		rt.stall = opts.StallTimeout
+		rt.stalled = make(chan struct{})
 	}
 	depth := opts.depth()
 	for _, fs := range g.Filters {
@@ -232,6 +257,11 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 		}()
 	}
 	start := time.Now()
+	if rt.stall > 0 {
+		finished := make(chan struct{})
+		defer close(finished)
+		go rt.watchdog(rt.stall, finished)
+	}
 	var wg sync.WaitGroup
 	for _, fs := range rt.graph.Filters {
 		fs := fs
@@ -251,6 +281,10 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 					return fs.New(st.copyIdx).Run(ctx)
 				}()
 				ctx.closeCompute()
+				// The copy leaves the watchdog's suspect set: whatever happens
+				// from here (EOS delivery, draining) blocks only on copies
+				// that are still live and will be named instead.
+				st.phase.Store(phaseDone)
 				if err != nil && !errors.Is(err, errStopped) {
 					if !rt.tolerateFailure(st, ctx, err) {
 						return
@@ -286,8 +320,41 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 			}()
 		}
 	}
-	wg.Wait()
-	rt.auxWG.Wait()
+	wgDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		rt.auxWG.Wait()
+		close(wgDone)
+	}()
+	if rt.stalled == nil {
+		<-wgDone
+	} else {
+		select {
+		case <-wgDone:
+		case <-rt.stalled:
+			// The watchdog tripped. Copies blocked on streams unwind via
+			// rt.done, but a goroutine truly wedged inside filter code (a
+			// hung read, an endless loop) cannot be interrupted — after a
+			// grace period, abandon it and return the diagnostic rather
+			// than hang. The leaked goroutines still share the copy stats,
+			// so no report is built on this path.
+			grace := rt.stall
+			if grace > 2*time.Second {
+				grace = 2 * time.Second
+			}
+			select {
+			case <-wgDone:
+			case <-time.After(grace):
+				if rt.trans != nil {
+					rt.trans.close() // unblock the transport's receive loops
+				}
+				rt.errMu.Lock()
+				err := rt.firstErr
+				rt.errMu.Unlock()
+				return &RunStats{Elapsed: time.Since(start), Copies: map[string][]CopyStats{}}, err
+			}
+		}
+	}
 	if rt.trans != nil {
 		if cerr := rt.trans.close(); cerr != nil && rt.firstErr == nil {
 			rt.firstErr = cerr
@@ -464,6 +531,19 @@ type localCtx struct {
 	finalWaited bool
 }
 
+// Aborting reports whether the runtime is tearing the run down after a
+// failure: an end-of-stream a filter observes then is a side effect of the
+// abort, not completion. Sink filters that finalize durable artifacts on
+// clean end-of-stream (filters.NewUSO) discover it by type assertion.
+func (c *localCtx) Aborting() bool {
+	select {
+	case <-c.rt.done:
+		return true
+	default:
+		return false
+	}
+}
+
 func (c *localCtx) FilterName() string     { return c.st.filter }
 func (c *localCtx) CopyIndex() int         { return c.st.copyIdx }
 func (c *localCtx) NumCopies() int         { return len(c.rt.copies[c.st.filter]) }
@@ -504,10 +584,12 @@ func (c *localCtx) Recv() (Msg, bool) {
 	// so it is no longer redelivered if this copy dies.
 	c.hasInflight = false
 	blockStart := c.markCompute()
+	c.st.phase.Store(phaseRecv)
 	defer func() {
 		now := time.Now()
 		c.st.stats.BlockRecv += now.Sub(blockStart)
 		c.lastMark = now
+		c.st.phase.Store(phaseRun)
 	}()
 	for {
 		// Failover-eligible copies first take over requeued buffers from dead
@@ -559,6 +641,7 @@ func (c *localCtx) Recv() (Msg, bool) {
 // until the next Recv.
 func (c *localCtx) accept(m inMsg) (Msg, bool) {
 	c.st.stats.MsgsIn++
+	c.st.beats.Add(1)
 	c.st.svcMsgs.Add(1)
 	c.st.stats.BytesIn += int64(m.payload.SizeBytes())
 	if c.fo != nil {
@@ -650,14 +733,17 @@ func (c *localCtx) send(cs *connState, target *copyState, port string, p Payload
 	// it and may recycle its buffers (see filters.ParamMsg.Recycle).
 	size := int64(p.SizeBytes())
 	blockStart := c.markCompute()
+	c.st.phase.Store(phaseSend)
 	err := c.rt.deliver(c.st, target, inMsg{port: cs.spec.ToPort, payload: p})
 	now := time.Now()
 	c.st.stats.BlockSend += now.Sub(blockStart)
 	c.lastMark = now
+	c.st.phase.Store(phaseRun)
 	if err != nil {
 		return err
 	}
 	c.st.stats.MsgsOut++
+	c.st.beats.Add(1)
 	c.st.stats.BytesOut += size
 	// The deliver block time is the producer's wait for queue credit on this
 	// stream; the pending load right after delivery approximates the depth

@@ -74,3 +74,46 @@ func TestRetryEnabled(t *testing.T) {
 		t.Error("two attempts disabled")
 	}
 }
+
+// TestPairRNGBackoffDeterminism pins the reproducibility contract of the
+// transport's jittered backoff: for a fixed policy seed and ordered node
+// pair, two independent runs draw the identical backoff sequence, and
+// distinct node pairs draw de-correlated ones.
+func TestPairRNGBackoffDeterminism(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 6, BaseDelay: 10 * time.Millisecond, MaxDelay: 500 * time.Millisecond, Seed: 42}
+	seq := func(from, to int) []time.Duration {
+		tr := &tcpTransport{retry: p} // fresh transport = fresh run
+		rng := tr.pairRNG(from, to)
+		out := make([]time.Duration, 0, 5)
+		for a := 1; a <= 5; a++ {
+			out = append(out, p.backoff(a, rng))
+		}
+		return out
+	}
+	run1, run2 := seq(2, 5), seq(2, 5)
+	for i := range run1 {
+		if run1[i] != run2[i] {
+			t.Fatalf("attempt %d: run1 %v != run2 %v for the same node pair", i+1, run1[i], run2[i])
+		}
+	}
+	other := seq(5, 2) // the reversed pair must not share the jitter stream
+	same := true
+	for i := range run1 {
+		if run1[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("node pairs (2,5) and (5,2) drew identical jitter sequences")
+	}
+	// The zero seed still yields a deterministic (default-seeded) stream.
+	zp := &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	a := (&tcpTransport{retry: zp}).pairRNG(1, 2)
+	b := (&tcpTransport{retry: zp}).pairRNG(1, 2)
+	for i := 0; i < 5; i++ {
+		if x, y := zp.backoff(2, a), zp.backoff(2, b); x != y {
+			t.Fatalf("zero-seed backoff diverged at draw %d: %v vs %v", i, x, y)
+		}
+	}
+}

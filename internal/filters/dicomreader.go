@@ -30,6 +30,9 @@ type DFRConfig struct {
 	// slice with DegradedPieceMsg notices. The DICOM store carries no
 	// per-slice checksums, so every decode failure counts as degraded data.
 	FaultPolicy fault.Policy
+	// Skip lists texture chunks whose outputs a resumed run already holds;
+	// slices feeding only skipped chunks are never decoded.
+	Skip map[int]bool
 }
 
 // NewDFR returns the DICOMFileReader factory. Each copy decodes the DICOM
@@ -52,6 +55,20 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 			}
 			met := ctx.Metrics()
 			X, Y := st.Dims[0], st.Dims[1]
+			if len(cfg.Skip) > 0 {
+				// Drop slices that feed only chunks the resume skip-set
+				// covers before they reach the decode stage.
+				kept := slices[:0:0] // fresh backing; NodeSlices may share its own
+				for _, sf := range slices {
+					for _, ch := range cfg.Chunker.SliceChunks(sf.Z, sf.T) {
+						if !cfg.Skip[ch.Index] {
+							kept = append(kept, sf)
+							break
+						}
+					}
+				}
+				slices = kept
+			}
 			fetch := func(i int) (*volume.Region, error) {
 				sf := slices[i]
 				sp := met.StartRead()
@@ -92,12 +109,12 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 						Hi: [4]int{X, Y, sf.Z + 1, sf.T + 1},
 					}
 					if err := emitDegraded(ctx, cfg.Chunker, sf.Z, sf.T,
-						sf.T*st.Dims[2]+sf.Z, box, iicCopies); err != nil {
+						sf.T*st.Dims[2]+sf.Z, box, iicCopies, cfg.Skip); err != nil {
 						return err
 					}
 					continue
 				}
-				if err := emitPieces(ctx, cfg.Chunker, slices[i].Z, slices[i].T, window, iicCopies); err != nil {
+				if err := emitPieces(ctx, cfg.Chunker, slices[i].Z, slices[i].T, window, iicCopies, cfg.Skip); err != nil {
 					return err
 				}
 				putRegion(window)

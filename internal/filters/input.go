@@ -40,6 +40,11 @@ type RFRConfig struct {
 	// the dataset still completes. Only dataset.ErrDegradedData failures are
 	// skippable — programming errors always abort.
 	FaultPolicy fault.Policy
+	// Skip lists texture chunks whose outputs a resumed run already holds
+	// (recovered from the checkpoint journal): pieces feeding only skipped
+	// chunks are never read, and no piece of a skipped chunk is emitted, so
+	// downstream assembly sees exactly the unfinished remainder.
+	Skip map[int]bool
 }
 
 // ioWindow is one read unit of the reader filters: a 2D sub-window of one
@@ -77,11 +82,35 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 				ioy = Y
 			}
 			met := ctx.Metrics()
+			// A window feeding only chunks the resume skip-set covers is
+			// dropped before it reaches the read stage: resuming near the end
+			// of a dataset re-reads almost nothing.
+			needed := func(w ioWindow) bool {
+				if len(cfg.Skip) == 0 {
+					return true
+				}
+				box := volume.Box{
+					Lo: [4]int{w.x0, w.y0, w.ref.Z, w.ref.T},
+					Hi: [4]int{w.x1, w.y1, w.ref.Z + 1, w.ref.T + 1},
+				}
+				for _, ch := range cfg.Chunker.SliceChunks(w.ref.Z, w.ref.T) {
+					if cfg.Skip[ch.Index] {
+						continue
+					}
+					if _, ok := ch.Voxels.Intersect(box); ok {
+						return true
+					}
+				}
+				return false
+			}
 			var windows []ioWindow
 			for _, ref := range refs {
 				for y0 := 0; y0 < Y; y0 += ioy {
 					for x0 := 0; x0 < X; x0 += iox {
-						windows = append(windows, ioWindow{ref: ref, x0: x0, x1: min(x0+iox, X), y0: y0, y1: min(y0+ioy, Y)})
+						w := ioWindow{ref: ref, x0: x0, x1: min(x0+iox, X), y0: y0, y1: min(y0+ioy, Y)}
+						if needed(w) {
+							windows = append(windows, w)
+						}
 					}
 				}
 			}
@@ -138,12 +167,12 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 						Hi: [4]int{w.x1, w.y1, w.ref.Z + 1, w.ref.T + 1},
 					}
 					if err := emitDegraded(ctx, cfg.Chunker, w.ref.Z, w.ref.T,
-						dataset.SliceID(meta, w.ref.Z, w.ref.T), box, iicCopies); err != nil {
+						dataset.SliceID(meta, w.ref.Z, w.ref.T), box, iicCopies, cfg.Skip); err != nil {
 						return err
 					}
 					continue
 				}
-				if err := emitPieces(ctx, cfg.Chunker, windows[i].ref.Z, windows[i].ref.T, window, iicCopies); err != nil {
+				if err := emitPieces(ctx, cfg.Chunker, windows[i].ref.Z, windows[i].ref.T, window, iicCopies, cfg.Skip); err != nil {
 					return err
 				}
 				putRegion(window)
@@ -155,10 +184,14 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 
 // emitPieces cuts a filled window into the pieces needed by each texture
 // chunk intersecting its slice plane and routes each to the IIC copy owning
-// that chunk. Shared by RFR and DFR.
-func emitPieces(ctx filter.Context, chunker *volume.Chunker, z, t int, window *volume.Region, iicCopies int) error {
+// that chunk, dropping chunks in the resume skip-set. Shared by RFR and
+// DFR.
+func emitPieces(ctx filter.Context, chunker *volume.Chunker, z, t int, window *volume.Region, iicCopies int, skip map[int]bool) error {
 	met := ctx.Metrics()
 	for _, ch := range chunker.SliceChunks(z, t) {
+		if skip[ch.Index] {
+			continue
+		}
 		inter, ok := ch.Voxels.Intersect(window.Box)
 		if !ok {
 			continue
@@ -276,6 +309,9 @@ func NewIIC(cfg IICConfig) func(int) filter.Filter {
 type GridSourceConfig struct {
 	Grid    *volume.Grid
 	Chunker *volume.Chunker
+	// Skip lists chunks whose outputs a resumed run already holds; they are
+	// not emitted.
+	Skip map[int]bool
 }
 
 // NewGridSource returns a source that emits complete IIC-to-TEXTURE chunks
@@ -287,6 +323,9 @@ func NewGridSource(cfg GridSourceConfig) func(int) filter.Filter {
 			met := ctx.Metrics()
 			n := cfg.Chunker.Count()
 			for i := ctx.CopyIndex(); i < n; i += ctx.NumCopies() {
+				if cfg.Skip[i] {
+					continue
+				}
 				ch := cfg.Chunker.Chunk(i)
 				sp := met.StartRead()
 				region := volume.ExtractRegion(cfg.Grid, ch.Voxels)

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"haralick4d/internal/checkpoint"
 	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/volume"
@@ -23,6 +24,13 @@ import (
 // USOConfig configures the UnstitchedOutput filter.
 type USOConfig struct {
 	Dir string
+	// Journal, when set, receives a portion record for every parameter
+	// portion persisted to the record files, making the run resumable.
+	Journal *checkpoint.Journal
+	// Recovered are the portions a resumed run trusts from its journal.
+	// Copy 0 replays them into its record files before streaming begins, so
+	// the stitched output of the resumed run covers the work of both lives.
+	Recovered []checkpoint.Portion
 }
 
 // usoMagic guards the record files against format confusion.
@@ -31,26 +39,79 @@ const usoMagic = uint32(0x55534f31) // "USO1"
 // NewUSO returns the UnstitchedOutput factory: it streams parameter values
 // with their positional information straight to disk, one file per Haralick
 // parameter per copy, for later postprocessing.
+//
+// Record files are written as "<name>.tmp" and renamed into place only
+// after a final flush+fsync, so a crashed run never leaves a half-written
+// record file that ReadUSODir would trust (the ".bin" suffix filter skips
+// orphaned temporaries). With a Journal configured, every persisted portion
+// is journaled; on resume, copy 0 first replays the journal's recovered
+// portions so the resumed run's files cover the crashed run's work too.
 func NewUSO(cfg USOConfig) func(int) filter.Filter {
 	return func(copy int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
 			writers := map[features.Feature]*bufio.Writer{}
 			files := map[features.Feature]*os.File{}
+			tmps := map[features.Feature]string{}
 			defer func() {
+				// Error path: close what is open and leave the .tmp files
+				// behind — never renamed, so never trusted.
 				for _, f := range files {
 					f.Close()
 				}
 			}()
+			get := func(ft features.Feature) (*bufio.Writer, error) {
+				if w := writers[ft]; w != nil {
+					return w, nil
+				}
+				name := fmt.Sprintf("uso_c%03d_%s.bin", ctx.CopyIndex(), ft)
+				tmp := filepath.Join(cfg.Dir, name+".tmp")
+				f, err := os.Create(tmp)
+				if err != nil {
+					return nil, fmt.Errorf("filters: %w", err)
+				}
+				files[ft] = f
+				tmps[ft] = tmp
+				w := bufio.NewWriter(f)
+				writers[ft] = w
+				if err := binary.Write(w, binary.LittleEndian, usoMagic); err != nil {
+					return nil, fmt.Errorf("filters: %w", err)
+				}
+				return w, nil
+			}
+			if ctx.CopyIndex() == 0 {
+				for _, p := range cfg.Recovered {
+					w, err := get(features.Feature(p.Feature))
+					if err != nil {
+						return err
+					}
+					if err := writeUSORecord(w, features.Feature(p.Feature), p.Box, p.Values); err != nil {
+						return err
+					}
+				}
+			}
+			aborted := false
 			for {
 				m, ok := ctx.Recv()
 				if !ok {
+					// End of all streams — or the engine tearing the run down
+					// after a failure elsewhere, which closes streams the same
+					// way. Only a genuinely clean end may finalize the record
+					// files; an aborted run leaves its temporaries untrusted.
+					if ab, hasAb := ctx.(interface{ Aborting() bool }); hasAb && ab.Aborting() {
+						aborted = true
+					}
 					break
 				}
-				if _, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
+				if dm, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
 					// Nothing to persist for a degraded chunk: the record
 					// files simply never cover its boxes. Duplicate records
 					// from failover redelivery are harmless too — ReadUSODir
 					// applies them with idempotent StoreInto overwrites.
+					if cfg.Journal != nil {
+						if err := cfg.Journal.AppendDegraded(dm.Chunk, dm.Origins, dm.Slices); err != nil {
+							return err
+						}
+					}
 					continue
 				}
 				pm, okType := m.Payload.(*ParamMsg)
@@ -61,51 +122,61 @@ func NewUSO(cfg USOConfig) func(int) filter.Filter {
 					return err
 				}
 				sp := ctx.Metrics().StartWrite()
-				w := writers[pm.Feature]
-				if w == nil {
-					name := fmt.Sprintf("uso_c%03d_%s.bin", ctx.CopyIndex(), pm.Feature)
-					f, err := os.Create(filepath.Join(cfg.Dir, name))
-					if err != nil {
-						return fmt.Errorf("filters: %w", err)
-					}
-					files[pm.Feature] = f
-					w = bufio.NewWriter(f)
-					writers[pm.Feature] = w
-					if err := binary.Write(w, binary.LittleEndian, usoMagic); err != nil {
-						return fmt.Errorf("filters: %w", err)
-					}
-				}
-				if err := writeUSORecord(w, pm); err != nil {
+				w, err := get(pm.Feature)
+				if err != nil {
 					return err
+				}
+				if err := writeUSORecord(w, pm.Feature, pm.Box, pm.Values); err != nil {
+					return err
+				}
+				if cfg.Journal != nil {
+					// Journaled after the record write: a portion the journal
+					// vouches for is always present in some record file —
+					// final on a clean exit, or replayed from this very
+					// journal entry on resume.
+					if err := cfg.Journal.AppendPortion(int(pm.Feature), pm.Box, pm.Values); err != nil {
+						return err
+					}
 				}
 				sp.End()
 				pm.Recycle()
+			}
+			if aborted {
+				return nil // deferred close leaves only .tmp files behind
 			}
 			for ft, w := range writers {
 				if err := w.Flush(); err != nil {
 					return fmt.Errorf("filters: %w", err)
 				}
-				if err := files[ft].Close(); err != nil {
+				f := files[ft]
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return fmt.Errorf("filters: %w", err)
+				}
+				if err := f.Close(); err != nil {
 					return fmt.Errorf("filters: %w", err)
 				}
 				delete(files, ft)
+				if err := os.Rename(tmps[ft], strings.TrimSuffix(tmps[ft], ".tmp")); err != nil {
+					return fmt.Errorf("filters: %w", err)
+				}
 			}
 			return nil
 		})
 	}
 }
 
-func writeUSORecord(w io.Writer, pm *ParamMsg) error {
+func writeUSORecord(w io.Writer, ft features.Feature, box volume.Box, values []float64) error {
 	hdr := make([]int32, 9)
-	hdr[0] = int32(pm.Feature)
+	hdr[0] = int32(ft)
 	for k := 0; k < 4; k++ {
-		hdr[1+k] = int32(pm.Box.Lo[k])
-		hdr[5+k] = int32(pm.Box.Hi[k])
+		hdr[1+k] = int32(box.Lo[k])
+		hdr[5+k] = int32(box.Hi[k])
 	}
 	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 		return fmt.Errorf("filters: %w", err)
 	}
-	if err := binary.Write(w, binary.LittleEndian, pm.Values); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, values); err != nil {
 		return fmt.Errorf("filters: %w", err)
 	}
 	return nil
@@ -347,8 +418,12 @@ func color8(v float64) color.Gray {
 	return color.Gray{Y: uint8(math.Round(v))}
 }
 
+// writeJPEG persists one image atomically: encode into a temporary, fsync,
+// then rename into place, so a crash mid-encode never leaves a truncated
+// JPEG under the final name.
 func writeJPEG(path string, img image.Image, quality int) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("filters: %w", err)
 	}
@@ -356,7 +431,14 @@ func writeJPEG(path string, img image.Image, quality int) error {
 		f.Close()
 		return fmt.Errorf("filters: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("filters: %w", err)
+	}
 	if err := f.Close(); err != nil {
+		return fmt.Errorf("filters: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("filters: %w", err)
 	}
 	return nil
@@ -372,8 +454,15 @@ type Results struct {
 	// seen dedupes exact portion boxes per feature: under copy failover the
 	// runtime redelivers in-flight buffers of crashed copies, so a sink may
 	// legitimately see the same portion twice. A *different* overlapping box
-	// still overfills — that remains a routing bug worth failing on.
-	seen map[features.Feature]map[volume.Box]bool
+	// still overfills — that remains a routing bug worth failing on. A
+	// feature's map is dropped once the feature completes (completed takes
+	// over late-duplicate suppression), so long runs don't retain a box
+	// entry for every portion ever assembled.
+	seen      map[features.Feature]map[volume.Box]bool
+	completed map[features.Feature]bool
+	// jour, when set, receives a record for every applied portion and
+	// degraded notice, making the collected results resumable.
+	jour *checkpoint.Journal
 	// Degraded-chunk bookkeeping (SkipDegraded runs): chunk id → its ROI
 	// origin box, plus the union of lost slice ids. Origins partition the
 	// output space, so their voxel counts sum exactly.
@@ -389,8 +478,89 @@ func NewResults(outDims [4]int) *Results {
 		grids:     map[features.Feature]*volume.FloatGrid{},
 		filled:    map[features.Feature]int{},
 		seen:      map[features.Feature]map[volume.Box]bool{},
+		completed: map[features.Feature]bool{},
 		degChunks: map[int]volume.Box{},
 		degSlices: map[int]bool{},
+	}
+}
+
+// SetJournal attaches a progress journal: from now on every applied portion
+// and degraded notice is journaled before it counts as collected.
+func (r *Results) SetJournal(j *checkpoint.Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jour = j
+}
+
+// Restore seeds the sink with the portions and degraded notices recovered
+// from a journal, exactly as if the original run had delivered them —
+// without re-journaling. Called before the resumed pipeline starts.
+func (r *Results) Restore(st *checkpoint.State) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range st.Degraded {
+		if _, dup := r.degChunks[d.Chunk]; dup {
+			continue
+		}
+		r.degChunks[d.Chunk] = d.Origins
+		r.degVoxels += d.Origins.NumVoxels()
+		for _, s := range d.Slices {
+			r.degSlices[s] = true
+		}
+	}
+	for _, p := range st.Portions {
+		ft := features.Feature(p.Feature)
+		if ft < 0 || int(ft) >= features.NumFeatures {
+			return fmt.Errorf("filters: restored portion has invalid feature %d", p.Feature)
+		}
+		if err := r.applyLocked(ft, p.Box, p.Values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyLocked stores one portion (deduplicated) and retires the feature's
+// dedupe map when it completes. Caller holds r.mu.
+func (r *Results) applyLocked(ft features.Feature, box volume.Box, values []float64) error {
+	if r.completed[ft] {
+		return nil // late duplicate of a finished feature
+	}
+	boxes := r.seen[ft]
+	if boxes == nil {
+		boxes = map[volume.Box]bool{}
+		r.seen[ft] = boxes
+	}
+	if boxes[box] {
+		return nil
+	}
+	boxes[box] = true
+	g := r.grids[ft]
+	if g == nil {
+		g = volume.NewFloatGrid(r.dims)
+		r.grids[ft] = g
+	}
+	fr := &volume.FloatRegion{Box: box, Data: values}
+	fr.StoreInto(g)
+	r.filled[ft] += box.NumVoxels()
+	if r.filled[ft] > volume.NumVoxels(r.dims) {
+		return fmt.Errorf("filters: feature %v overfilled", ft)
+	}
+	r.sweepCompleteLocked(ft)
+	return nil
+}
+
+// sweepCompleteLocked retires a feature's per-box dedupe map once the
+// feature is fully accounted for (assembled plus degraded voxels cover the
+// output): any portion arriving later is by construction a duplicate, so
+// the completed flag alone suppresses it and the map's memory is released.
+func (r *Results) sweepCompleteLocked(ft features.Feature) {
+	if r.completed[ft] {
+		return
+	}
+	if r.filled[ft]+r.degVoxels == volume.NumVoxels(r.dims) {
+		r.completed[ft] = true
+		delete(r.seen, ft)
 	}
 }
 
@@ -402,42 +572,38 @@ func (r *Results) add(pm *ParamMsg) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	boxes := r.seen[pm.Feature]
-	if boxes == nil {
-		boxes = map[volume.Box]bool{}
-		r.seen[pm.Feature] = boxes
+	if r.jour != nil && !r.completed[pm.Feature] {
+		if err := r.jour.AppendPortion(int(pm.Feature), pm.Box, pm.Values); err != nil {
+			return err
+		}
 	}
-	if boxes[pm.Box] {
-		return nil
-	}
-	boxes[pm.Box] = true
-	g := r.grids[pm.Feature]
-	if g == nil {
-		g = volume.NewFloatGrid(r.dims)
-		r.grids[pm.Feature] = g
-	}
-	fr := &volume.FloatRegion{Box: pm.Box, Data: pm.Values}
-	fr.StoreInto(g)
-	r.filled[pm.Feature] += pm.Box.NumVoxels()
-	if r.filled[pm.Feature] > volume.NumVoxels(r.dims) {
-		return fmt.Errorf("filters: feature %v overfilled", pm.Feature)
-	}
-	return nil
+	return r.applyLocked(pm.Feature, pm.Box, pm.Values)
 }
 
 // markDegraded records one degraded-chunk notice, deduplicating by chunk id
 // (redelivery can repeat notices too).
-func (r *Results) markDegraded(dm *DegradedChunkMsg) {
+func (r *Results) markDegraded(dm *DegradedChunkMsg) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.degChunks[dm.Chunk]; dup {
-		return
+		return nil
+	}
+	if r.jour != nil {
+		if err := r.jour.AppendDegraded(dm.Chunk, dm.Origins, dm.Slices); err != nil {
+			return err
+		}
 	}
 	r.degChunks[dm.Chunk] = dm.Origins
 	r.degVoxels += dm.Origins.NumVoxels()
 	for _, s := range dm.Slices {
 		r.degSlices[s] = true
 	}
+	// The surrendered voxels may be the last thing a feature was waiting
+	// for; re-check every in-flight feature against the new target.
+	for ft := range r.filled {
+		r.sweepCompleteLocked(ft)
+	}
+	return nil
 }
 
 // Grid returns the assembled grid for one feature (nil if absent).
@@ -498,7 +664,9 @@ func NewCollector(res *Results) func(int) filter.Filter {
 					return nil
 				}
 				if dm, isDegraded := m.Payload.(*DegradedChunkMsg); isDegraded {
-					res.markDegraded(dm)
+					if err := res.markDegraded(dm); err != nil {
+						return err
+					}
 					continue
 				}
 				pm, okType := m.Payload.(*ParamMsg)

@@ -69,6 +69,9 @@ func (t *Timer) Add(d time.Duration) {
 // Start opens a wall-clock span ending at Span.End.
 func (t *Timer) Start() Span { return Span{t: t, start: time.Now()} }
 
+// Count returns the number of durations recorded so far.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
 // Stat snapshots the timer into its JSON-ready form.
 func (t *Timer) Stat() SpanStat {
 	return SpanStat{Count: t.count.Load(), TotalNS: t.ns.Load(), MaxNS: t.max.Load()}
@@ -167,6 +170,21 @@ func (c *Copy) Pool(hit bool) {
 	} else {
 		c.PoolMiss.Inc()
 	}
+}
+
+// Progress returns a monotone heartbeat derived from the span timers and
+// pool counters: it grows whenever the copy completes any instrumented
+// activity. The stall watchdog samples it (together with the engine's own
+// message counters) to distinguish a slow-but-working filter from a wedged
+// one. Nil-receiver safe: a nil *Copy reports 0, leaving the engine
+// counters as the only heartbeat when metrics are disabled.
+func (c *Copy) Progress() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Read.Count() + c.ReadWait.Count() + c.Assemble.Count() +
+		c.Compute.Count() + c.Emit.Count() + c.Write.Count() +
+		c.PoolHit.Load() + c.PoolMiss.Load()
 }
 
 // Spans snapshots the non-empty span timers, keyed by span name.

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"haralick4d/internal/checkpoint"
+	"haralick4d/internal/volume"
+)
+
+// RestartSummary reports what a resumed run recovered from its journal and
+// how much of the work it can therefore skip.
+type RestartSummary struct {
+	Portions       int   // verified portion records recovered
+	Voxels         int   // output voxels those portions cover, summed over features
+	SkippedChunks  int   // texture chunks whose outputs are fully durable
+	TotalChunks    int   // chunks in the whole run
+	TruncatedBytes int64 // torn-tail bytes discarded on journal reopen
+}
+
+// String renders the summary as the one-line restart report the CLIs print.
+func (s *RestartSummary) String() string {
+	return fmt.Sprintf("resumed: %d portions (%d voxels) recovered, %d/%d chunks skipped, %d torn bytes discarded",
+		s.Portions, s.Voxels, s.SkippedChunks, s.TotalChunks, s.TruncatedBytes)
+}
+
+// PrepareCheckpoint opens (resume=false) or reopens (resume=true) the
+// progress journal at path and attaches it to cfg: it validates cfg against
+// datasetDims, derives the run fingerprint that guards the journal against
+// configuration drift, and on resume loads and verifies the prior run's
+// records, leaving cfg.Journal and cfg.Recovered set so the graph builders
+// prune completed chunks and pre-seed the sink. The caller owns the returned
+// journal and must Close it after the run.
+func PrepareCheckpoint(datasetDims [4]int, cfg *Config, path string, resume bool, syncInterval time.Duration) (*checkpoint.Journal, *RestartSummary, error) {
+	if cfg.Journal != nil || cfg.Recovered != nil {
+		return nil, nil, fmt.Errorf("pipeline: config already carries a journal")
+	}
+	if cfg.Output == OutputJPEG {
+		return nil, nil, fmt.Errorf("pipeline: checkpointing requires OutputCollect or OutputUSO (JPEG stitching holds no durable portions)")
+	}
+	if err := cfg.Validate(datasetDims); err != nil {
+		return nil, nil, err
+	}
+	chunker, err := volume.NewChunker(datasetDims, cfg.ChunkShape, cfg.Analysis.ROI)
+	if err != nil {
+		return nil, nil, err
+	}
+	feats := make([]int, len(cfg.Analysis.Features))
+	for i, f := range cfg.Analysis.Features {
+		feats[i] = int(f)
+	}
+	hdr := checkpoint.Header{
+		Dims:           datasetDims,
+		ROI:            cfg.Analysis.ROI,
+		ChunkShape:     cfg.ChunkShape,
+		OutDims:        chunker.OutputDims(),
+		GrayLevels:     cfg.Analysis.GrayLevels,
+		NDim:           cfg.Analysis.NDim,
+		Distance:       cfg.Analysis.Distance,
+		Representation: int(cfg.Analysis.Representation),
+		Features:       feats,
+	}
+	sum := &RestartSummary{TotalChunks: chunker.Count()}
+	if !resume {
+		j, err := checkpoint.Create(path, hdr, syncInterval)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Journal = j
+		return j, sum, nil
+	}
+	j, st, err := checkpoint.Resume(path, hdr, syncInterval)
+	if err != nil {
+		return nil, nil, err
+	}
+	skip, err := checkpoint.CompleteChunks(st, chunker, feats)
+	if err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+	cfg.Journal = j
+	cfg.Recovered = st
+	sum.Portions = len(st.Portions)
+	sum.Voxels = st.RecoveredVoxels()
+	sum.SkippedChunks = len(skip)
+	sum.TruncatedBytes = st.TruncatedBytes
+	return j, sum, nil
+}

@@ -9,7 +9,9 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"time"
 
+	"haralick4d/internal/checkpoint"
 	"haralick4d/internal/cluster"
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
@@ -97,6 +99,14 @@ type Config struct {
 	// aborts the run, fault.SkipDegraded completes the healthy remainder and
 	// reports what was skipped.
 	FaultPolicy fault.Policy
+	// Journal, when set, receives a durable record of every parameter
+	// portion the sink persists, making the run resumable after a crash.
+	// Usually opened by PrepareCheckpoint. OutputCollect and OutputUSO only.
+	Journal *checkpoint.Journal
+	// Recovered is the verified state loaded from an earlier run's journal;
+	// chunks it proves complete are skipped from the readers onward, and the
+	// sink is pre-seeded with the recovered portions.
+	Recovered *checkpoint.State
 }
 
 // Validate normalizes the config and reports the first problem.
@@ -122,7 +132,30 @@ func (c *Config) Validate(datasetDims [4]int) error {
 	if c.Output != OutputCollect && c.OutDir == "" {
 		return fmt.Errorf("pipeline: disk output modes need OutDir")
 	}
+	if (c.Journal != nil || c.Recovered != nil) && c.Output == OutputJPEG {
+		// HIC stitches whole feature volumes in memory before JIW writes a
+		// pixel, so no durable portion record exists to journal against.
+		return fmt.Errorf("pipeline: checkpointing requires OutputCollect or OutputUSO (JPEG stitching holds no durable portions)")
+	}
+	if c.Recovered != nil && c.Journal == nil {
+		return fmt.Errorf("pipeline: Recovered state set without a Journal to continue")
+	}
 	return nil
+}
+
+// resumeSkip converts the recovered journal state into the set of texture
+// chunks whose outputs are already durable; readers prune them at the
+// cheapest level they can (whole I/O windows, whole slices, per-chunk
+// pieces).
+func (c *Config) resumeSkip(chunker *volume.Chunker) (map[int]bool, error) {
+	if c.Recovered == nil {
+		return nil, nil
+	}
+	feats := make([]int, len(c.Analysis.Features))
+	for i, f := range c.Analysis.Features {
+		feats[i] = int(f)
+	}
+	return checkpoint.CompleteChunks(c.Recovered, chunker, feats)
 }
 
 // defaultChunkShape picks a chunk covering the full x–y extent and a
@@ -167,6 +200,10 @@ func Build(store *dataset.Store, cfg *Config, layout *Layout) (*filter.Graph, *f
 		return nil, nil, outDims, err
 	}
 	outDims = chunker.OutputDims()
+	skip, err := cfg.resumeSkip(chunker)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
 
 	g := filter.NewGraph()
 	g.AddFilter(filter.FilterSpec{
@@ -179,6 +216,7 @@ func Build(store *dataset.Store, cfg *Config, layout *Layout) (*filter.Graph, *f
 			IOChunk:     cfg.IOChunk,
 			ReadAhead:   cfg.ReadAhead,
 			FaultPolicy: cfg.FaultPolicy,
+			Skip:        skip,
 		}),
 		Nodes: srcNodes,
 	})
@@ -219,6 +257,10 @@ func BuildDICOM(study *dicom.Study, cfg *Config, layout *Layout) (*filter.Graph,
 		return nil, nil, outDims, err
 	}
 	outDims = chunker.OutputDims()
+	skip, err := cfg.resumeSkip(chunker)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
 
 	g := filter.NewGraph()
 	g.AddFilter(filter.FilterSpec{
@@ -230,6 +272,7 @@ func BuildDICOM(study *dicom.Study, cfg *Config, layout *Layout) (*filter.Graph,
 			GrayLevels:  cfg.Analysis.GrayLevels,
 			ReadAhead:   cfg.ReadAhead,
 			FaultPolicy: cfg.FaultPolicy,
+			Skip:        skip,
 		}),
 		Nodes: srcNodes,
 	})
@@ -267,13 +310,17 @@ func BuildMem(grid *volume.Grid, cfg *Config, layout *Layout) (*filter.Graph, *f
 		return nil, nil, outDims, err
 	}
 	outDims = chunker.OutputDims()
+	skip, err := cfg.resumeSkip(chunker)
+	if err != nil {
+		return nil, nil, outDims, err
+	}
 
 	srcNodes := nodesOrDefault(layout.SourceNodes, 1)
 	g := filter.NewGraph()
 	g.AddFilter(filter.FilterSpec{
 		Name:   "SRC",
 		Copies: len(srcNodes),
-		New:    filters.NewGridSource(filters.GridSourceConfig{Grid: grid, Chunker: chunker}),
+		New:    filters.NewGridSource(filters.GridSourceConfig{Grid: grid, Chunker: chunker, Skip: skip}),
 		Nodes:  srcNodes,
 	})
 	res, err := addTextureAndOutput(g, "SRC", cfg, layout, outDims)
@@ -312,11 +359,25 @@ func addTextureAndOutput(g *filter.Graph, src string, cfg *Config, layout *Layou
 	switch cfg.Output {
 	case OutputCollect:
 		res := filters.NewResults(outDims)
+		if cfg.Recovered != nil {
+			if err := res.Restore(cfg.Recovered); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Journal != nil {
+			// Attached after Restore so recovered portions are not
+			// re-journaled.
+			res.SetJournal(cfg.Journal)
+		}
 		g.AddFilter(filter.FilterSpec{Name: "OUT", Copies: len(outNodes), New: filters.NewCollector(res), Nodes: outNodes})
 		g.Connect(filter.ConnSpec{From: paramProducer, FromPort: filters.PortOut, To: "OUT", ToPort: filters.PortIn, Policy: filter.RoundRobin})
 		return res, nil
 	case OutputUSO:
-		g.AddFilter(filter.FilterSpec{Name: "USO", Copies: len(outNodes), New: filters.NewUSO(filters.USOConfig{Dir: cfg.OutDir}), Nodes: outNodes})
+		ucfg := filters.USOConfig{Dir: cfg.OutDir, Journal: cfg.Journal}
+		if cfg.Recovered != nil {
+			ucfg.Recovered = cfg.Recovered.Portions
+		}
+		g.AddFilter(filter.FilterSpec{Name: "USO", Copies: len(outNodes), New: filters.NewUSO(ucfg), Nodes: outNodes})
 		g.Connect(filter.ConnSpec{From: paramProducer, FromPort: filters.PortOut, To: "USO", ToPort: filters.PortIn, Policy: filter.RoundRobin})
 		return nil, nil
 	case OutputJPEG:
@@ -392,6 +453,11 @@ type RunOptions struct {
 	// WrapConn, when non-nil, wraps every outbound TCP node link — the fault
 	// injection hook (see internal/fault.FlakyConn). TCP engine only.
 	WrapConn func(c net.Conn, fromNode, toNode int) net.Conn
+	// StallTimeout arms the filter runtime's stall watchdog (local and TCP
+	// engines): if no copy anywhere makes progress for this long the run
+	// fails with a filter.StallError naming the wedged copies. 0 disables.
+	// The simulated cluster runs in virtual time and ignores it.
+	StallTimeout time.Duration
 }
 
 // Run executes a built graph on the selected engine.
@@ -409,11 +475,13 @@ func RunContext(ctx context.Context, g *filter.Graph, engine Engine, opts *RunOp
 	case EngineLocal:
 		return filter.RunLocalContext(ctx, g, &filter.Options{
 			QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics, Failover: opts.Failover,
+			StallTimeout: opts.StallTimeout,
 		})
 	case EngineTCP:
 		return filter.RunTCPContext(ctx, g, &filter.Options{
 			QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics, WireCodec: opts.WireCodec,
 			Failover: opts.Failover, Retry: opts.Retry, WrapConn: opts.WrapConn,
+			StallTimeout: opts.StallTimeout,
 		})
 	case EngineSim:
 		topo := opts.Topology

@@ -292,11 +292,13 @@ func BenchmarkComputeSparse(b *testing.B) {
 
 // BenchmarkSlidingWindow measures one whole raster row scanned with the
 // sliding-window kernel: a full accumulation at the row start, then one
-// incremental SlideFull per remaining origin. pairs/s counts logical pairs
-// (pairsPerROI × positions), so it is directly comparable to
-// BenchmarkComputeFull — the gap is the overlapping-window reuse win.
+// incremental SlideFull per remaining origin. The grid is 256 voxels wide —
+// the paper dataset's row length — so the row-start cost amortizes as it
+// does in a real scan. pairs/s counts logical pairs (pairsPerROI ×
+// positions), so it is directly comparable to BenchmarkComputeFull — the
+// gap is the overlapping-window reuse win.
 func BenchmarkSlidingWindow(b *testing.B) {
-	grid := phantomGrid(b, [4]int{32, 32, 8, 8}, 32)
+	grid := phantomGrid(b, [4]int{256, 32, 8, 8}, 32)
 	dirs := glcm.Directions(4, 1)
 	roi := [4]int{16, 16, 3, 3}
 	if !glcm.Reusable(roi, 1, dirs) {
@@ -316,13 +318,71 @@ func BenchmarkSlidingWindow(b *testing.B) {
 	reportPairs(b, glcm.PairCount(roi, dirs)*uint64(nx))
 }
 
+// BenchmarkBlockedRow measures the same whole-raster-row scan as
+// BenchmarkSlidingWindow on the blocked, direction-batched kernel — one
+// Accumulate at the row start, one Slide per remaining origin — including a
+// merging SnapshotFull at every position (the legacy kernel's matrix is live
+// incrementally, so the snapshot is the blocked kernel's honest per-position
+// cost). pairs/s counts the same logical pairs over the same grid, so the
+// two rows compare directly.
+func BenchmarkBlockedRow(b *testing.B) {
+	grid := phantomGrid(b, [4]int{256, 32, 8, 8}, 32)
+	dirs := glcm.Directions(4, 1)
+	roi := [4]int{16, 16, 3, 3}
+	nx := grid.Dims[0] - roi[0] + 1
+	k := glcm.NewBlocked(32)
+	if !k.Plan(grid.Strides(), roi, dirs, 1, 0) {
+		b.Fatal("paper geometry should be supported by the blocked planner")
+	}
+	m := glcm.NewFull(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reset()
+		k.Accumulate(grid.Data, 0)
+		k.SnapshotFull(m)
+		for x := 0; x+1 < nx; x++ {
+			k.Slide(grid.Data, x)
+			k.SnapshotFull(m)
+		}
+	}
+	reportPairs(b, glcm.PairCount(roi, dirs)*uint64(nx))
+}
+
+// BenchmarkBlockedSparseRow is BenchmarkBlockedRow extracting the sparse
+// representation at every position: the blocked scratch emits the sorted
+// entry list directly, with no touched-key tracking or sort.
+func BenchmarkBlockedSparseRow(b *testing.B) {
+	grid := phantomGrid(b, [4]int{256, 32, 8, 8}, 32)
+	dirs := glcm.Directions(4, 1)
+	roi := [4]int{16, 16, 3, 3}
+	nx := grid.Dims[0] - roi[0] + 1
+	k := glcm.NewBlocked(32)
+	if !k.Plan(grid.Strides(), roi, dirs, 1, 0) {
+		b.Fatal("paper geometry should be supported by the blocked planner")
+	}
+	s := glcm.NewSparse(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Reset()
+		k.Accumulate(grid.Data, 0)
+		k.SnapshotSparse(s)
+		for x := 0; x+1 < nx; x++ {
+			k.Slide(grid.Data, x)
+			k.SnapshotSparse(s)
+		}
+	}
+	reportPairs(b, glcm.PairCount(roi, dirs)*uint64(nx))
+}
+
 // benchAnalyzeRegion returns an AnalyzeRegion benchmark pinned to one
-// intra-chunk worker count (shared by BenchmarkAnalyzeRegionWorkers and the
-// BENCH_kernels.json writer).
-func benchAnalyzeRegion(workers int) func(*testing.B) {
+// intra-chunk worker count and kernel mode (shared by
+// BenchmarkAnalyzeRegionWorkers and the BENCH_kernels.json writer).
+func benchAnalyzeRegion(workers int, kernel core.KernelMode) func(*testing.B) {
 	return func(b *testing.B) {
 		grid := phantomGrid(b, [4]int{24, 24, 6, 6}, 32)
-		cfg := &core.Config{ROI: [4]int{8, 8, 3, 3}, GrayLevels: 32, Representation: core.SparseMatrix, Workers: workers}
+		cfg := &core.Config{ROI: [4]int{8, 8, 3, 3}, GrayLevels: 32, Representation: core.SparseMatrix, Workers: workers, Kernel: kernel}
 		if err := cfg.Validate(); err != nil {
 			b.Fatal(err)
 		}
@@ -346,13 +406,22 @@ func benchAnalyzeRegion(workers int) func(*testing.B) {
 
 // BenchmarkAnalyzeRegionWorkers sweeps the Workers knob over a full region
 // scan (matrices + paper parameters). Workers=1 is the sequential
-// full-recompute reference; workers>1 stripe raster rows across a pool and
-// reuse overlapping-window work with sliding GLCM updates, so throughput
+// full-recompute reference; workers>1 stripe raster rows across a pool
+// running the blocked direction-batched kernel (the default), so throughput
 // rises even on a single-CPU host. Outputs are bit-identical at every
-// setting (see internal/core TestParallelMatchesSequential).
+// setting (see internal/core TestParallelMatchesSequential and
+// TestKernelModesAgree).
 func BenchmarkAnalyzeRegionWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("%d", w), benchAnalyzeRegion(w))
+		b.Run(fmt.Sprintf("%d", w), benchAnalyzeRegion(w, core.KernelAuto))
+	}
+}
+
+// BenchmarkAnalyzeRegionLegacy is the same sweep with the legacy sliding
+// per-direction kernels forced — the A/B baseline for the blocked kernel.
+func BenchmarkAnalyzeRegionLegacy(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", w), benchAnalyzeRegion(w, core.KernelLegacy))
 	}
 }
 

@@ -1,0 +1,124 @@
+package haralick4d
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestKernelBenchGate is the CI kernel-performance regression gate: it
+// re-runs the blocked and legacy sliding row benchmarks and compares the
+// blocked kernel's pairs/s against the committed BENCH_kernels.json
+// baseline. Because CI hosts differ from the baseline host, the comparison
+// is normalized by the legacy kernel's drift on the same run — the sliding
+// kernel is untouched code, so its now/baseline ratio estimates the host
+// speed difference. The gate fails when the blocked kernel retains less
+// than 80% of its host-normalized baseline throughput.
+//
+// The gate is opt-in (set HARALICK4D_BENCH_GATE=1) so ordinary `go test`
+// runs stay fast and unflaky; CI runs it in a dedicated step.
+func TestKernelBenchGate(t *testing.T) {
+	if os.Getenv("HARALICK4D_BENCH_GATE") == "" {
+		t.Skip("set HARALICK4D_BENCH_GATE=1 to run the kernel bench regression gate")
+	}
+	raw, err := os.ReadFile("BENCH_kernels.json")
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name        string  `json:"name"`
+			Kernel      string  `json:"kernel"`
+			PairsPerSec float64 `json:"pairs_per_sec"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	base := map[string]float64{}
+	for _, b := range doc.Benchmarks {
+		base[b.Name] = b.PairsPerSec
+	}
+	slidingBase, blockedBase := base["SlidingWindow"], base["BlockedRow"]
+	if slidingBase <= 0 || blockedBase <= 0 {
+		t.Fatal("baseline lacks SlidingWindow/BlockedRow pairs_per_sec rows")
+	}
+
+	slidingNow := testing.Benchmark(BenchmarkSlidingWindow).Extra["pairs/s"]
+	blockedNow := testing.Benchmark(BenchmarkBlockedRow).Extra["pairs/s"]
+	if slidingNow <= 0 || blockedNow <= 0 {
+		t.Fatal("benchmark reported no pairs/s metric")
+	}
+
+	// Host normalization: scale the blocked baseline by how much the legacy
+	// kernel moved on this host, then require 80% of that.
+	norm := slidingNow / slidingBase
+	want := 0.8 * blockedBase * norm
+
+	row := func(name string, baseV, nowV float64) {
+		t.Logf("%-16s %14.0f pairs/s (baseline) %14.0f pairs/s (now) %6.2fx",
+			name, baseV, nowV, nowV/baseV)
+	}
+	row("SlidingWindow", slidingBase, slidingNow)
+	row("BlockedRow", blockedBase, blockedNow)
+	t.Logf("host norm (legacy drift) %.3f; gate: blocked >= %.0f pairs/s", norm, want)
+	t.Logf("blocked/sliding now: %.2fx (baseline %.2fx)",
+		blockedNow/slidingNow, blockedBase/slidingBase)
+
+	if blockedNow < want {
+		t.Errorf("blocked kernel regressed: %.0f pairs/s < %.0f (80%% of host-normalized baseline %.0f)",
+			blockedNow, want, blockedBase*norm)
+	}
+}
+
+// TestKernelBenchBaselineShape pins the committed BENCH_kernels.json
+// contract the gate and docs rely on: parseable, kernel-tagged rows for
+// both kernels, and a blocked row at least 2x the legacy sliding row — the
+// blocked kernel's headline claim, recorded on the generating host.
+func TestKernelBenchBaselineShape(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_kernels.json")
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	var doc struct {
+		Host       map[string]any `json:"host"`
+		Benchmarks []struct {
+			Name        string  `json:"name"`
+			Kernel      string  `json:"kernel"`
+			PairsPerSec float64 `json:"pairs_per_sec"`
+		} `json:"benchmarks"`
+		Speedups map[string]float64 `json:"speedups"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	for _, key := range []string{"cpus", "gomaxprocs", "go", "goos", "goarch"} {
+		if _, ok := doc.Host[key]; !ok {
+			t.Errorf("host metadata lacks %q", key)
+		}
+	}
+	rows := map[string]string{}
+	for _, b := range doc.Benchmarks {
+		if b.Kernel != "legacy" && b.Kernel != "blocked" {
+			t.Errorf("row %s: kernel %q is neither legacy nor blocked", b.Name, b.Kernel)
+		}
+		rows[b.Name] = b.Kernel
+		if b.PairsPerSec <= 0 {
+			t.Errorf("row %s: non-positive pairs_per_sec", b.Name)
+		}
+	}
+	for name, kernel := range map[string]string{
+		"SlidingWindow": "legacy", "BlockedRow": "blocked", "BlockedSparseRow": "blocked",
+	} {
+		if rows[name] != kernel {
+			t.Errorf("row %s: kernel %q, want %q", name, rows[name], kernel)
+		}
+	}
+	if s := doc.Speedups["blocked_row_vs_sliding_window"]; s < 2 {
+		t.Errorf("blocked_row_vs_sliding_window = %.2f, want >= 2 (regenerate BENCH_kernels.json)", s)
+	}
+	if fmt.Sprintf("%v", doc.Host["cpus"]) == "0" {
+		t.Error("host cpus metadata is zero")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"runtime"
 	"testing"
+
+	"haralick4d/internal/core"
 )
 
 // TestWriteKernelBenchJSON runs the kernel microbenchmarks and writes their
@@ -20,27 +22,38 @@ func TestWriteKernelBenchJSON(t *testing.T) {
 	}
 	type entry struct {
 		Name        string  `json:"name"`
+		Kernel      string  `json:"kernel"`
 		Iterations  int     `json:"iterations"`
 		NsPerOp     float64 `json:"ns_per_op"`
 		PairsPerSec float64 `json:"pairs_per_sec"`
 	}
-	run := func(name string, fn func(*testing.B)) entry {
+	run := func(name, kernel string, fn func(*testing.B)) entry {
 		r := testing.Benchmark(fn)
-		e := entry{Name: name, Iterations: r.N, NsPerOp: float64(r.NsPerOp()), PairsPerSec: r.Extra["pairs/s"]}
-		t.Logf("%-24s %12.0f ns/op %14.0f pairs/s", e.Name, e.NsPerOp, e.PairsPerSec)
+		e := entry{Name: name, Kernel: kernel, Iterations: r.N, NsPerOp: float64(r.NsPerOp()), PairsPerSec: r.Extra["pairs/s"]}
+		t.Logf("%-26s %-8s %12.0f ns/op %14.0f pairs/s", e.Name, e.Kernel, e.NsPerOp, e.PairsPerSec)
 		return e
 	}
 	entries := []entry{
-		run("ComputeFull", BenchmarkComputeFull),
-		run("ComputeSparse", BenchmarkComputeSparse),
-		run("SlidingWindow", BenchmarkSlidingWindow),
+		run("ComputeFull", "legacy", BenchmarkComputeFull),
+		run("ComputeSparse", "legacy", BenchmarkComputeSparse),
+		run("SlidingWindow", "legacy", BenchmarkSlidingWindow),
+		run("BlockedRow", "blocked", BenchmarkBlockedRow),
+		run("BlockedSparseRow", "blocked", BenchmarkBlockedSparseRow),
 	}
 	byWorkers := map[int]entry{}
 	for _, w := range []int{1, 2, 4, 8} {
-		e := run(fmt.Sprintf("AnalyzeRegionWorkers/%d", w), benchAnalyzeRegion(w))
+		// Workers>1 run the blocked kernel by default; workers=1 is the
+		// sequential legacy reference.
+		kernel := "blocked"
+		if w == 1 {
+			kernel = "legacy"
+		}
+		e := run(fmt.Sprintf("AnalyzeRegionWorkers/%d", w), kernel, benchAnalyzeRegion(w, core.KernelAuto))
 		byWorkers[w] = e
 		entries = append(entries, e)
 	}
+	legacy4 := run("AnalyzeRegionLegacy/4", "legacy", benchAnalyzeRegion(4, core.KernelLegacy))
+	entries = append(entries, legacy4)
 	doc := struct {
 		GeneratedBy string             `json:"generated_by"`
 		Host        map[string]any     `json:"host"`
@@ -60,16 +73,22 @@ func TestWriteKernelBenchJSON(t *testing.T) {
 		Unit:       "pairs_per_sec counts logical voxel-pair accumulations (pairsPerROI x ROIs) per second",
 		Benchmarks: entries,
 		Speedups: map[string]float64{
-			"sliding_window_vs_compute_full": entries[2].PairsPerSec / entries[0].PairsPerSec,
-			"analyze_region_workers_2_vs_1":  byWorkers[2].PairsPerSec / byWorkers[1].PairsPerSec,
-			"analyze_region_workers_4_vs_1":  byWorkers[4].PairsPerSec / byWorkers[1].PairsPerSec,
-			"analyze_region_workers_8_vs_1":  byWorkers[8].PairsPerSec / byWorkers[1].PairsPerSec,
+			"sliding_window_vs_compute_full":   entries[2].PairsPerSec / entries[0].PairsPerSec,
+			"blocked_row_vs_sliding_window":    entries[3].PairsPerSec / entries[2].PairsPerSec,
+			"blocked_row_vs_compute_full":      entries[3].PairsPerSec / entries[0].PairsPerSec,
+			"analyze_region_workers_2_vs_1":    byWorkers[2].PairsPerSec / byWorkers[1].PairsPerSec,
+			"analyze_region_workers_4_vs_1":    byWorkers[4].PairsPerSec / byWorkers[1].PairsPerSec,
+			"analyze_region_workers_8_vs_1":    byWorkers[8].PairsPerSec / byWorkers[1].PairsPerSec,
+			"analyze_region_blocked_vs_legacy": byWorkers[4].PairsPerSec / legacy4.PairsPerSec,
 		},
 		Notes: []string{
+			"host metadata (cpus, gomaxprocs) is captured at bench time on the generating machine via runtime.NumCPU()/runtime.GOMAXPROCS(0)",
+			"the kernel field distinguishes legacy rows (per-direction kernels of compute.go/sliding.go) from blocked rows (direction-batched kernel of blocked.go)",
 			"workers=1 is the sequential reference kernel: full recompute per ROI, no goroutines, no sliding reuse",
-			"workers>1 stripe raster rows across a worker pool and apply sliding-window GLCM updates along each row",
-			"on a single-CPU host (gomaxprocs above) the workers>1 gain comes from the sliding-window reuse, not hardware parallelism; multi-core hosts stack both",
-			"outputs are bit-identical at every worker count (internal/core TestParallelMatchesSequential)",
+			"workers>1 stripe raster rows across a worker pool running the blocked kernel by default (KernelAuto); AnalyzeRegionLegacy/4 forces the sliding per-direction kernels for comparison",
+			"BlockedRow/BlockedSparseRow pay a merging snapshot per position (the legacy kernel's matrix is live incrementally), so the comparison with SlidingWindow is honest",
+			"on a single-CPU host (gomaxprocs above) the workers>1 gain comes from kernel efficiency, not hardware parallelism; multi-core hosts stack both",
+			"outputs are bit-identical at every worker count and kernel mode (internal/core TestParallelMatchesSequential, TestKernelModesAgree)",
 		},
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 
 	"haralick4d/internal/cliflags"
+	"haralick4d/internal/core"
 	"haralick4d/internal/experiments"
 	"haralick4d/internal/metrics"
 )
@@ -37,6 +38,14 @@ func validateCountFlags(readAhead, kernelWorkers int) error {
 	return nil
 }
 
+func parseKernel(s string) (core.KernelMode, error) {
+	k, err := core.ParseKernelMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("-kernel: %w", err)
+	}
+	return k, nil
+}
+
 func main() {
 	var (
 		fig      = flag.String("fig", "", "figure id: 7a, 7b, 8, 9, 10, 11, density, zeroskip, iic, dirs, chunk, decluster, kernel (default: all)")
@@ -46,6 +55,7 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "simulation repetitions per configuration (min is reported)")
 		computeS = flag.Float64("compute-scale", experiments.DefaultComputeScale, "virtual seconds per host second on a speed-1 node")
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers inside each texture filter (0 = all CPUs, 1 = sequential reference kernel; the kernel figure sweeps this itself)")
+		kernelS  = flag.String("kernel", "auto", "parallel-scan GLCM kernel: auto (blocked when supported), blocked, legacy (the kernel figure sweeps both)")
 		rdAhead  = flag.Int("readahead", 4, "I/O windows the reader filters fetch ahead of the pipeline (0 = synchronous reads; outputs are identical either way)")
 		// Only the watchdog half of the restart surface is exposed here:
 		// resuming a half-finished figure sweep from a checkpoint would
@@ -58,6 +68,12 @@ func main() {
 	)
 	flag.Parse()
 	if err := validateCountFlags(*rdAhead, *kworkers); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	kernel, err := parseKernel(*kernelS)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -102,6 +118,7 @@ func main() {
 	env.Repeats = *repeats
 	env.ComputeScale = *computeS
 	env.KernelWorkers = *kworkers
+	env.Kernel = kernel
 	env.ReadAhead = *rdAhead
 	env.StallTimeout = stallTimeout
 

@@ -57,13 +57,16 @@ func fail(format string, args ...any) {
 
 // validateCountFlags rejects the negative values the flag package happily
 // parses; 0 keeps each flag's documented meaning (synchronous reads, all
-// CPUs).
-func validateCountFlags(readAhead, kernelWorkers int) error {
+// CPUs, untiled kernel rows).
+func validateCountFlags(readAhead, kernelWorkers, kernelBlock int) error {
 	if readAhead < 0 {
 		return fmt.Errorf("-readahead must be >= 0, got %d", readAhead)
 	}
 	if kernelWorkers < 0 {
 		return fmt.Errorf("-kernel-workers must be >= 0, got %d", kernelWorkers)
+	}
+	if kernelBlock < 0 {
+		return fmt.Errorf("-kernel-block must be >= 0, got %d", kernelBlock)
 	}
 	return nil
 }
@@ -85,6 +88,8 @@ func main() {
 		faultS   = flag.String("fault-policy", "fail-fast", "degraded-slice handling: fail-fast or skip-degraded")
 		texture  = flag.Int("texture", 4, "texture filter copies (HMP, or HCC+HPC pairs for split)")
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers per texture filter copy (0 = all CPUs, 1 = sequential reference kernel)")
+		kernelS  = flag.String("kernel", "auto", "parallel-scan GLCM kernel: auto (blocked when supported), blocked, legacy")
+		kblock   = flag.Int("kernel-block", 0, "x tile width of the blocked kernel's accumulation runs (0 = untiled rows)")
 		iic      = flag.Int("iic", 1, "explicit IIC copies")
 		roiS     = flag.String("roi", "16x16x3x3", "ROI window XxYxZxT")
 		chunkS   = flag.String("chunk", "", "IIC-to-TEXTURE chunk shape XxYxZxT (default: auto)")
@@ -135,7 +140,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if err := validateCountFlags(*rdAhead, *kworkers); err != nil {
+	kernel, err := core.ParseKernelMode(*kernelS)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := validateCountFlags(*rdAhead, *kworkers, *kblock); err != nil {
 		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -211,6 +220,8 @@ func main() {
 				Features:       feats,
 				Representation: rep,
 				Workers:        *kworkers,
+				Kernel:         kernel,
+				KernelBlock:    *kblock,
 			},
 			ChunkShape: chunk,
 			Impl:       impl,

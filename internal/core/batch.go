@@ -67,7 +67,8 @@ func SparseBatchInto(region *volume.Region, origins volume.Box, cfg *Config, sta
 	rows := shape[1] * shape[2] * shape[3]
 	local := make([]Stats, workers)
 	err := runRows(rows, workers, func(w, r0, r1 int) error {
-		sc := newRowScanner(region, origins, cfg, true)
+		sc := newRowScanner(region, origins, cfg, true, workers > 1 && cfg.useBlocked())
+		defer sc.release()
 		if workers == 1 {
 			sc.slide = false // sequential reference: full recompute per ROI
 		}
@@ -123,7 +124,8 @@ func FullBatchInto(region *volume.Region, origins volume.Box, cfg *Config, stats
 	rows := shape[1] * shape[2] * shape[3]
 	local := make([]Stats, workers)
 	err := runRows(rows, workers, func(w, r0, r1 int) error {
-		sc := newRowScanner(region, origins, cfg, false)
+		sc := newRowScanner(region, origins, cfg, false, workers > 1 && cfg.useBlocked())
+		defer sc.release()
 		if workers == 1 {
 			sc.slide = false // sequential reference: full recompute per ROI
 		}

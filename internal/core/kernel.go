@@ -1,0 +1,59 @@
+package core
+
+import "fmt"
+
+// KernelMode selects the GLCM accumulation kernel used by the parallel
+// intra-chunk scan (Workers resolving above one). The sequential workers=1
+// path always runs the legacy per-direction reference kernels — it is the
+// verification oracle — so the knob only affects which kernel the worker
+// pool runs. All kernels produce bit-identical matrices; the blocked kernel
+// is simply faster (single raster pass over all directions, LUT
+// quantization, one scratch write per pair).
+type KernelMode int
+
+const (
+	// KernelAuto — the zero value and the default — selects the blocked
+	// kernel whenever the scan geometry supports it (x-fastest layout,
+	// direction set of at most 64 directions) and falls back to the legacy
+	// sliding-window kernels otherwise.
+	KernelAuto KernelMode = iota
+	// KernelBlocked requests the blocked kernel explicitly. Geometries the
+	// blocked planner rejects still fall back to the legacy kernels, so the
+	// scan never fails on an exotic configuration.
+	KernelBlocked
+	// KernelLegacy forces the per-direction legacy kernels everywhere —
+	// the pre-blocked behavior, kept for A/B comparison and as an escape
+	// hatch.
+	KernelLegacy
+)
+
+// String returns the short stable name used in flags and reports.
+func (k KernelMode) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelBlocked:
+		return "blocked"
+	case KernelLegacy:
+		return "legacy"
+	}
+	return fmt.Sprintf("kernel(%d)", int(k))
+}
+
+// ParseKernelMode is the inverse of String.
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch s {
+	case "auto", "":
+		return KernelAuto, nil
+	case "blocked":
+		return KernelBlocked, nil
+	case "legacy":
+		return KernelLegacy, nil
+	}
+	return 0, fmt.Errorf("core: unknown kernel mode %q", s)
+}
+
+// useBlocked reports whether a parallel scan should attempt the blocked
+// kernel. Both auto and blocked modes do; the planner's own geometry check
+// provides the per-scan fallback.
+func (c *Config) useBlocked() bool { return c.Kernel != KernelLegacy }

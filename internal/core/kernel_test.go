@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"haralick4d/internal/volume"
+)
+
+// TestKernelModesAgree pins the kernel knob's contract: for random
+// geometries, every mode — auto (blocked by default), forced blocked,
+// forced legacy — produces feature values and Stats bit-identical to the
+// sequential workers=1 oracle, with and without x tiling.
+func TestKernelModesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 12; iter++ {
+		cfg := Config{}
+		var region *volume.Region
+		var dims [4]int
+		for {
+			region, dims = randRegion(rng, 32)
+			cfg = randConfig(rng, dims)
+			if err := cfg.Validate(); err == nil {
+				break
+			}
+		}
+		for i := range region.Data {
+			region.Data[i] %= uint8(cfg.GrayLevels)
+		}
+		outDims, err := volume.OutputDims(dims, cfg.ROI)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		origins := volume.BoxAt([4]int{}, outDims)
+
+		ref := cfg
+		ref.Workers = 1
+		var refStats Stats
+		want, err := AnalyzeRegion(region, origins, &ref, &refStats)
+		if err != nil {
+			t.Fatalf("iter %d: sequential: %v", iter, err)
+		}
+
+		cases := []struct {
+			name   string
+			kernel KernelMode
+			block  int
+		}{
+			{"auto", KernelAuto, 0},
+			{"blocked", KernelBlocked, 0},
+			{"blocked-tiled", KernelBlocked, 3},
+			{"legacy", KernelLegacy, 0},
+		}
+		for _, c := range cases {
+			pcfg := cfg
+			pcfg.Workers = 4
+			pcfg.Kernel = c.kernel
+			pcfg.KernelBlock = c.block
+			var stats Stats
+			got, err := AnalyzeRegion(region, origins, &pcfg, &stats)
+			if err != nil {
+				t.Fatalf("iter %d %s: %v", iter, c.name, err)
+			}
+			if stats != refStats {
+				t.Fatalf("iter %d %s: stats %+v, want %+v", iter, c.name, stats, refStats)
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i].Data, want[i].Data) {
+					t.Fatalf("iter %d %s: feature %v diverged from sequential reference",
+						iter, c.name, cfg.Features[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelModeStringParse round-trips the flag surface.
+func TestKernelModeStringParse(t *testing.T) {
+	for _, k := range []KernelMode{KernelAuto, KernelBlocked, KernelLegacy} {
+		got, err := ParseKernelMode(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKernelMode(%q) = (%v, %v), want %v", k.String(), got, err, k)
+		}
+	}
+	if got, err := ParseKernelMode(""); err != nil || got != KernelAuto {
+		t.Errorf("empty kernel mode = (%v, %v), want auto", got, err)
+	}
+	if _, err := ParseKernelMode("vectorized"); err == nil {
+		t.Error("ParseKernelMode accepted an unknown mode")
+	}
+	if s := KernelMode(9).String(); s != "kernel(9)" {
+		t.Errorf("out-of-range String() = %q", s)
+	}
+}
+
+// TestValidateKernelKnobs covers the Validate rejections of the kernel knob
+// pair.
+func TestValidateKernelKnobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Kernel = KernelMode(7)
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for out-of-range kernel mode")
+	}
+	cfg = DefaultConfig()
+	cfg.KernelBlock = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("expected error for negative kernel block")
+	}
+	cfg = DefaultConfig()
+	cfg.Kernel = KernelBlocked
+	cfg.KernelBlock = 8
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid kernel knobs rejected: %v", err)
+	}
+}

@@ -109,6 +109,7 @@ type rowScanner struct {
 	full     *glcm.Full
 	sparse   *glcm.Sparse
 	builder  *glcm.SparseBuilder
+	blocked  *glcm.Blocked // non-nil when the blocked kernel is planned
 }
 
 // newRowScanner builds a scanner for the given scan; sparseRep selects the
@@ -116,7 +117,12 @@ type rowScanner struct {
 // batch builders fix the representation by API). Consecutive raster origins
 // are one voxel apart, so the slide stride is always 1; sliding engages
 // whenever some direction's pair box is wider than that.
-func newRowScanner(region *volume.Region, origins volume.Box, cfg *Config, sparseRep bool) *rowScanner {
+//
+// When blocked is set the scanner plans the cache-blocked, direction-batched
+// kernel (pooled across chunks via glcm.GetBlocked); geometries the planner
+// rejects fall back to the legacy sliding-window kernels. Callers must
+// release() the scanner when done so the pooled scratch is recycled.
+func newRowScanner(region *volume.Region, origins volume.Box, cfg *Config, sparseRep, blocked bool) *rowScanner {
 	shape := origins.Shape()
 	dirs := cfg.DirectionSet()
 	s := &rowScanner{
@@ -132,13 +138,32 @@ func newRowScanner(region *volume.Region, origins volume.Box, cfg *Config, spars
 		slide:    glcm.Reusable(cfg.ROI, 1, dirs),
 		pairs:    glcm.PairCount(cfg.ROI, dirs),
 	}
+	if blocked {
+		k := glcm.GetBlocked(cfg.GrayLevels)
+		if k.Plan(s.strides, cfg.ROI, dirs, 1, cfg.KernelBlock) {
+			s.blocked = k
+		} else {
+			glcm.PutBlocked(k)
+		}
+	}
 	if sparseRep {
 		s.sparse = glcm.NewSparse(cfg.GrayLevels)
-		s.builder = glcm.NewSparseBuilder(cfg.GrayLevels)
+		if s.blocked == nil {
+			s.builder = glcm.NewSparseBuilder(cfg.GrayLevels)
+		}
 	} else {
 		s.full = glcm.NewFull(cfg.GrayLevels)
 	}
 	return s
+}
+
+// release returns the scanner's pooled kernel state; the scanner must not
+// be used afterwards.
+func (s *rowScanner) release() {
+	if s.blocked != nil {
+		glcm.PutBlocked(s.blocked)
+		s.blocked = nil
+	}
 }
 
 // scan visits the origins of rows [r0, r1) in raster order. Stats counts
@@ -155,7 +180,30 @@ func (s *rowScanner) scan(r0, r1 int, stats *Stats, visit ROIVisitor) error {
 		for i := 0; i < s.nx; i++ {
 			p[0] = s.lo[0] + i
 			rel := [4]int{p[0] - s.regionLo[0], p[1] - s.regionLo[1], p[2] - s.regionLo[2], p[3] - s.regionLo[3]}
-			if s.sparse != nil {
+			if s.blocked != nil {
+				// Blocked kernel: one batched pass (or slab update) over all
+				// directions, then a merging snapshot into the visitor's
+				// matrix. The planner guarantees strides[0] == 1, so the flat
+				// origin of the previous window is base-1.
+				base := rel[0] + rel[1]*s.strides[1] + rel[2]*s.strides[2] + rel[3]*s.strides[3]
+				if i == 0 {
+					s.blocked.Reset()
+					s.blocked.Accumulate(s.data, base)
+				} else {
+					s.blocked.Slide(s.data, base-1)
+				}
+				if s.sparse != nil {
+					s.blocked.SnapshotSparse(s.sparse)
+					if stats != nil {
+						stats.StoredEntries += int64(s.sparse.NonZero())
+					}
+				} else {
+					s.blocked.SnapshotFull(s.full)
+					if stats != nil {
+						stats.StoredEntries += int64(s.full.NonZero())
+					}
+				}
+			} else if s.sparse != nil {
 				if i == 0 || !s.slide {
 					s.builder.Clear()
 					glcm.ComputeSparseScratch(s.data, s.strides, rel, s.cfg.ROI, s.dirs, s.builder)
@@ -245,7 +293,8 @@ func AnalyzeRegionInto(region *volume.Region, origins volume.Box, cfg *Config, s
 	rows := shape[1] * shape[2] * shape[3]
 	local := make([]Stats, workers)
 	err := runRows(rows, workers, func(w, r0, r1 int) error {
-		sc := newRowScanner(region, origins, cfg, cfg.Representation == SparseMatrix)
+		sc := newRowScanner(region, origins, cfg, cfg.Representation == SparseMatrix, cfg.useBlocked())
+		defer sc.release()
 		calc := features.NewCalculator(cfg.GrayLevels, cfg.Features)
 		var st *Stats
 		if stats != nil {

@@ -123,6 +123,11 @@ type Env struct {
 	// figure's shape exactly as the paper's single-threaded filters produce
 	// it. The `kernel` figure sweeps this knob explicitly.
 	KernelWorkers int
+	// Kernel selects the accumulation kernel of the parallel scan path.
+	// The zero value (core.KernelAuto) uses the blocked kernel whenever the
+	// worker count exceeds one; core.KernelLegacy restores the sliding
+	// per-direction kernels. The `kernel` figure sweeps both.
+	Kernel core.KernelMode
 	// StallTimeout arms the filter runtime's no-progress watchdog on the
 	// figures' engine runs, so an unattended sweep fails with a diagnostic
 	// instead of hanging. The simulated cluster runs in virtual time and
@@ -171,5 +176,6 @@ func (e *Env) analysis(rep core.Representation) core.Config {
 		Directions:     glcm.AxisDirections(4, 1),
 		Representation: rep,
 		Workers:        workers,
+		Kernel:         e.Kernel,
 	}
 }

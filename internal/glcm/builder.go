@@ -58,11 +58,17 @@ func (b *SparseBuilder) Flush(s *Sparse) {
 	if cap(s.Entries) < len(b.touched) {
 		s.Entries = make([]Entry, 0, len(b.touched))
 	}
+	// The keys are sorted, so the row index is decoded additively: advance
+	// rowBase by G while the key has left the current row — no '/' or '%'.
+	rowBase, row := 0, uint8(0)
 	for _, k := range b.touched {
-		i := uint8(int(k) / b.g)
-		j := uint8(int(k) % b.g)
-		if i <= j { // the mirror cell (j, i) carries the same count
-			s.Entries = append(s.Entries, Entry{I: i, J: j, Count: b.counts[k]})
+		for int(k) >= rowBase+b.g {
+			rowBase += b.g
+			row++
+		}
+		j := uint8(int(k) - rowBase)
+		if row <= j { // the mirror cell (j, i) carries the same count
+			s.Entries = append(s.Entries, Entry{I: row, J: j, Count: b.counts[k]})
 		}
 		b.counts[k] = 0
 	}
@@ -85,6 +91,7 @@ func (b *SparseBuilder) Snapshot(s *Sparse) {
 		s.Entries = make([]Entry, 0, len(b.touched))
 	}
 	w := 0
+	rowBase, row := 0, uint8(0) // additive row decode over the sorted keys
 	for _, k := range b.touched {
 		c := b.counts[k]
 		if c == 0 {
@@ -92,10 +99,13 @@ func (b *SparseBuilder) Snapshot(s *Sparse) {
 		}
 		b.touched[w] = k
 		w++
-		i := uint8(int(k) / b.g)
-		j := uint8(int(k) % b.g)
-		if i <= j { // the mirror cell (j, i) carries the same count
-			s.Entries = append(s.Entries, Entry{I: i, J: j, Count: c})
+		for int(k) >= rowBase+b.g {
+			rowBase += b.g
+			row++
+		}
+		j := uint8(int(k) - rowBase)
+		if row <= j { // the mirror cell (j, i) carries the same count
+			s.Entries = append(s.Entries, Entry{I: row, J: j, Count: c})
 		}
 	}
 	b.touched = b.touched[:w]

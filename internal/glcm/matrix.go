@@ -25,9 +25,7 @@ func NewFull(g int) *Full {
 
 // Reset zeroes the matrix for reuse without reallocating.
 func (m *Full) Reset() {
-	for i := range m.Counts {
-		m.Counts[i] = 0
-	}
+	clear(m.Counts)
 	m.Total = 0
 }
 

@@ -1,0 +1,118 @@
+package haralick4d
+
+import (
+	"strings"
+	"testing"
+
+	"haralick4d/internal/dataset"
+)
+
+// TestAnalyzeDatasetMemBackend runs the façade over a registered mem://
+// dataset and checks the feature maps against the local-directory path and
+// the backend section of the run report.
+func TestAnalyzeDatasetMemBackend(t *testing.T) {
+	v := phantom(t)
+	dir := t.TempDir()
+	if err := WriteDataset(dir, v, 2); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := AnalyzeDataset(dir, smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mb, _, err := dataset.WriteMemDataset(v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataset.RegisterMem("api-mem-test", mb)
+	defer dataset.UnregisterMem("api-mem-test")
+
+	res, err := AnalyzeDataset("mem://api-mem-test", smallOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range PaperFeatures() {
+		a, b := ref.Grids[f], res.Grids[f]
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("%v voxel %d differs between disk and mem backends", f, i)
+			}
+		}
+	}
+	if res.Report == nil {
+		t.Fatal("no report")
+	}
+	if len(res.Report.Backends) != 1 {
+		t.Fatalf("report has %d backend entries, want 1", len(res.Report.Backends))
+	}
+	be := res.Report.Backends[0]
+	if be.Scheme != "mem" || be.URL != "mem://api-mem-test" {
+		t.Errorf("backend identity = %q %q", be.Scheme, be.URL)
+	}
+	if be.Reads == 0 || be.ReadBytes == 0 {
+		t.Errorf("backend counters empty: %+v", be)
+	}
+	// The report's text rendering surfaces the backend table.
+	if s := res.Report.String(); !strings.Contains(s, "backends:") {
+		t.Error("report text omits the backends section")
+	}
+}
+
+// TestAnalyzeDatasetCacheCounters enables the block cache on a local run
+// and checks the hit/miss counters reach the report.
+func TestAnalyzeDatasetCacheCounters(t *testing.T) {
+	v := phantom(t)
+	dir := t.TempDir()
+	if err := WriteDataset(dir, v, 2); err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts(2)
+	opts.CacheBlocks = 64
+	res, err := AnalyzeDataset(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Backends) != 1 {
+		t.Fatalf("report has %d backend entries, want 1", len(res.Report.Backends))
+	}
+	be := res.Report.Backends[0]
+	if be.Scheme != "file" {
+		t.Errorf("backend scheme = %q, want file", be.Scheme)
+	}
+	if be.CacheHits+be.CacheMisses == 0 {
+		t.Errorf("block cache saw no traffic: %+v", be)
+	}
+	if be.CacheFetchBytes == 0 {
+		t.Errorf("block cache fetched no bytes: %+v", be)
+	}
+}
+
+func TestOptionsBackendValidation(t *testing.T) {
+	o := smallOpts(1)
+	o.CacheBlocks = -1
+	if err := o.Validate(); err == nil {
+		t.Error("negative CacheBlocks accepted")
+	}
+	o = smallOpts(1)
+	o.CacheBlockSize = -1
+	if err := o.Validate(); err == nil {
+		t.Error("negative CacheBlockSize accepted")
+	}
+	o = smallOpts(1)
+	o.CacheBlockSize = 4096 // without CacheBlocks
+	if err := o.Validate(); err == nil {
+		t.Error("CacheBlockSize without CacheBlocks accepted")
+	}
+	if _, err := AnalyzeDataset(t.TempDir(), o); err == nil {
+		t.Error("AnalyzeDataset accepted invalid cache options")
+	}
+}
+
+func TestAnalyzeDatasetBadURL(t *testing.T) {
+	for _, url := range []string{"", "ftp://host/x", "mem://", "mem://no-such-backend", "http://"} {
+		if _, err := AnalyzeDataset(url, smallOpts(1)); err == nil {
+			t.Errorf("URL %q accepted", url)
+		}
+	}
+}

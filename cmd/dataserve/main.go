@@ -1,0 +1,65 @@
+// Command dataserve serves a dataset directory over HTTP with Range
+// support, turning any directory written by cmd/gendata into a remote
+// backend for `haralick4d -dataset-url http://...`. It is a thin wrapper
+// over http.FileServer (which already answers ranged GETs), plus an optional
+// request log and a -ready file the CI smoke test polls instead of sleeping.
+//
+// Example:
+//
+//	dataserve -dir /data/study1 -addr localhost:8171 &
+//	haralick4d -dataset-url http://localhost:8171 -out /tmp/maps -format uso
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "dataset directory to serve (required)")
+		addr    = flag.String("addr", "localhost:0", "listen address; port 0 picks a free port")
+		ready   = flag.String("ready", "", "after listening, write the bound address to this file (for scripts)")
+		logReqs = flag.Bool("log", false, "log every request to stderr")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "dataserve: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if _, err := os.Stat(*dir); err != nil {
+		fmt.Fprintf(os.Stderr, "dataserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	var h http.Handler = http.FileServer(http.Dir(*dir))
+	if *logReqs {
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(os.Stderr, "dataserve: %s %s %s\n", r.Method, r.URL.Path, r.Header.Get("Range"))
+			inner.ServeHTTP(w, r)
+		})
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dataserve: %v\n", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("dataserve: serving %s on http://%s\n", *dir, bound)
+	if *ready != "" {
+		if err := os.WriteFile(*ready, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dataserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := http.Serve(ln, h); err != nil {
+		fmt.Fprintf(os.Stderr, "dataserve: %v\n", err)
+		os.Exit(1)
+	}
+}

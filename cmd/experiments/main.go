@@ -57,6 +57,8 @@ func main() {
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers inside each texture filter (0 = all CPUs, 1 = sequential reference kernel; the kernel figure sweeps this itself)")
 		kernelS  = flag.String("kernel", "auto", "parallel-scan GLCM kernel: auto (blocked when supported), blocked, legacy (the kernel figure sweeps both)")
 		rdAhead  = flag.Int("readahead", 4, "I/O windows the reader filters fetch ahead of the pipeline (0 = synchronous reads; outputs are identical either way)")
+		cacheBl  = flag.Int("cache-blocks", 0, "block-cache budget between the dataset backend and the readers, in blocks (0 = no cache)")
+		cacheBS  = flag.Int("cache-block-size", 0, "block-cache granularity in bytes (default 128KiB; requires -cache-blocks)")
 		// Only the watchdog half of the restart surface is exposed here:
 		// resuming a half-finished figure sweep from a checkpoint would
 		// splice timings from two separate processes into one curve, so the
@@ -80,6 +82,13 @@ func main() {
 	}
 	_, stallTimeout, err := cliflags.ParseRestartFlags("", false, "", *stallS)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	// The dataset location is decided later (a temp dir when -data is empty),
+	// so validate the cache sizing against a stand-in local path.
+	if _, err := cliflags.ParseBackendFlags(".", *cacheBl, *cacheBS); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -114,6 +123,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+	if *cacheBl > 0 {
+		cached, err := env.Store.WithCache(*cacheBS, *cacheBl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		env.Store = cached
 	}
 	env.Repeats = *repeats
 	env.ComputeScale = *computeS

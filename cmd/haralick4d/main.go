@@ -73,7 +73,10 @@ func validateCountFlags(readAhead, kernelWorkers, kernelBlock int) error {
 
 func main() {
 	var (
-		data     = flag.String("data", "", "dataset directory (required; see cmd/gendata)")
+		data     = flag.String("data", "", "dataset directory (see cmd/gendata); required unless -dataset-url is given")
+		dataURL  = flag.String("dataset-url", "", "dataset URL: a directory path, file://dir, mem://name, or http(s)://host/prefix for a remote range-read server (overrides -data)")
+		cacheBl  = flag.Int("cache-blocks", 0, "block-cache budget between the backend and the readers, in blocks (0 = no cache)")
+		cacheBS  = flag.Int("cache-block-size", 0, "block-cache granularity in bytes (default 128KiB; requires -cache-blocks)")
 		graph    = flag.String("graph", "", "XML pipeline description (overrides the analysis/layout flags)")
 		dicomIn  = flag.Bool("dicom", false, "the dataset directory is a DICOM study (see internal/dicom)")
 		out      = flag.String("out", "", "output directory (required unless -format none)")
@@ -108,8 +111,13 @@ func main() {
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	flag.Parse()
-	if *data == "" {
-		fail("-data is required")
+	if *data == "" && *dataURL == "" {
+		fmt.Fprintln(os.Stderr, "haralick4d: -data or -dataset-url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *dataURL == "" {
+		*dataURL = *data
 	}
 
 	impl, err := pipeline.ParseImpl(*implS)
@@ -155,6 +163,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	uopts, err := cliflags.ParseBackendFlags(*dataURL, *cacheBl, *cacheBS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	var roi [4]int
 	if _, err := fmt.Sscanf(*roiS, "%dx%dx%dx%d", &roi[0], &roi[1], &roi[2], &roi[3]); err != nil {
 		fail("invalid -roi %q", *roiS)
@@ -184,6 +198,9 @@ func main() {
 	var storageNodes int
 	var study *dicomStudy
 	if *dicomIn {
+		if *data == "" {
+			fail("-dicom requires a local -data directory")
+		}
 		s, err := dicom.OpenStudy(*data)
 		if err != nil {
 			fail("%v", err)
@@ -191,10 +208,11 @@ func main() {
 		study = &dicomStudy{dcm: s}
 		dims, storageNodes = s.Dims, s.Nodes
 	} else {
-		st, err := dataset.Open(*data)
+		st, err := dataset.OpenURL(context.Background(), *dataURL, uopts)
 		if err != nil {
 			fail("%v", err)
 		}
+		defer st.Close()
 		study = &dicomStudy{raw: st}
 		dims, storageNodes = st.Meta.Dims, st.Meta.Nodes
 	}
@@ -328,6 +346,7 @@ func main() {
 		fail("%v", err)
 	}
 	fmt.Printf("done in %v; output dims %v\n", rs.Elapsed, outDims)
+	pipeline.AttachBackendStats(rs.Report, study.raw)
 	if *stats {
 		fmt.Print(rs.String())
 	}

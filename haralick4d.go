@@ -200,6 +200,15 @@ type Options struct {
 	// per-operation one; it must comfortably exceed the longest single
 	// read/compute the run can legitimately perform. 0 disables.
 	StallTimeout time.Duration
+	// CacheBlocks layers a fixed-size block cache between the dataset
+	// backend and the readers (AnalyzeDataset only): a shared LRU budget of
+	// this many blocks. 0 — the default — disables caching; negative is
+	// invalid. Most useful with remote (http) dataset URLs, where a hit
+	// saves a network round trip.
+	CacheBlocks int
+	// CacheBlockSize is the cache's block granularity in bytes; 0 selects
+	// the 128 KiB default. Requires CacheBlocks > 0.
+	CacheBlockSize int
 }
 
 // Validate checks the options and reports the first problem — the same
@@ -211,7 +220,27 @@ func (o *Options) Validate() error {
 	if err != nil {
 		return err
 	}
-	return o.validateRestart()
+	if err := o.validateRestart(); err != nil {
+		return err
+	}
+	return o.validateBackend()
+}
+
+// validateBackend checks the dataset-backend option subset.
+func (o *Options) validateBackend() error {
+	if o == nil {
+		return nil
+	}
+	if o.CacheBlocks < 0 {
+		return fmt.Errorf("haralick4d: CacheBlocks must not be negative")
+	}
+	if o.CacheBlockSize < 0 {
+		return fmt.Errorf("haralick4d: CacheBlockSize must not be negative")
+	}
+	if o.CacheBlockSize > 0 && o.CacheBlocks == 0 {
+		return fmt.Errorf("haralick4d: CacheBlockSize set without a CacheBlocks budget")
+	}
+	return nil
 }
 
 // validateRestart checks the checkpoint/watchdog option subset.
@@ -280,6 +309,11 @@ var (
 	// ErrDegradedData marks per-slice data failures: checksum mismatch,
 	// truncation, missing file.
 	ErrDegradedData = dataset.ErrDegradedData
+	// ErrBackendUnavailable marks transport- or storage-layer failures of a
+	// dataset backend (an unreachable HTTP server, exhausted retries). It is
+	// distinct from ErrDegradedData: it says nothing about any one slice, so
+	// SkipDegraded never skips past it — the run aborts.
+	ErrBackendUnavailable = dataset.ErrBackendUnavailable
 	// ErrCopyFailed marks a filter-copy crash the runtime could not absorb.
 	ErrCopyFailed = filter.ErrCopyFailed
 	// ErrAllCopiesDead marks the terminal failover state: every copy of a
@@ -316,8 +350,9 @@ type DegradedSummary struct {
 // RunReport is the structured observability report of one analysis run:
 // per-filter busy/blocked/stalled times and span decompositions (read,
 // assemble, compute, emit, write), per-stream traffic, network activity
-// under the TCP engine, and a pipeline-wide critical-path summary. It
-// serializes to JSON via encoding/json or its JSON method.
+// under the TCP engine, dataset-backend I/O and cache counters, and a
+// pipeline-wide critical-path summary. It serializes to JSON via
+// encoding/json or its JSON method.
 type RunReport = metrics.RunReport
 
 // Result holds the assembled parameter images of one analysis.
@@ -454,16 +489,21 @@ func WriteDataset(dir string, v *Volume, storageNodes int) error {
 }
 
 // AnalyzeDataset runs the full parallel pipeline over a disk-resident
-// dataset directory created by WriteDataset: RFR readers (one per storage
-// node) feed an InputImageConstructor, which distributes overlapping 4D
-// chunks to parallel texture filters; results are assembled in memory.
-func AnalyzeDataset(dir string, opts *Options) (*Result, error) {
-	return AnalyzeDatasetContext(context.Background(), dir, opts)
+// dataset created by WriteDataset: RFR readers (one per storage node) feed
+// an InputImageConstructor, which distributes overlapping 4D chunks to
+// parallel texture filters; results are assembled in memory.
+//
+// url names the dataset: a plain directory path (or file:// URL) for local
+// storage, mem://name for a backend registered with dataset.RegisterMem, or
+// http(s)://host/prefix for a remote server answering range requests over
+// the same layout.
+func AnalyzeDataset(url string, opts *Options) (*Result, error) {
+	return AnalyzeDatasetContext(context.Background(), url, opts)
 }
 
 // AnalyzeDatasetContext is AnalyzeDataset under a context: cancelling ctx
 // makes the pipeline engines stop promptly and return ctx's error.
-func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Result, error) {
+func AnalyzeDatasetContext(ctx context.Context, url string, opts *Options) (*Result, error) {
 	cfg, err := opts.coreConfig()
 	if err != nil {
 		return nil, err
@@ -471,10 +511,19 @@ func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Res
 	if err := opts.validateRestart(); err != nil {
 		return nil, err
 	}
-	st, err := dataset.Open(dir)
+	if err := opts.validateBackend(); err != nil {
+		return nil, err
+	}
+	uopts := &dataset.URLOptions{}
+	if opts != nil {
+		uopts.CacheBlocks = opts.CacheBlocks
+		uopts.CacheBlockSize = opts.CacheBlockSize
+	}
+	st, err := dataset.OpenURL(ctx, url, uopts)
 	if err != nil {
 		return nil, err
 	}
+	defer st.Close()
 	pcfg := &pipeline.Config{
 		Analysis: cfg,
 		Impl:     pipeline.HMPImpl,
@@ -529,6 +578,7 @@ func AnalyzeDatasetContext(ctx context.Context, dir string, opts *Options) (*Res
 		return nil, err
 	}
 	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims, Report: rs.Report}
+	pipeline.AttachBackendStats(res.Report, st)
 	if opts != nil && opts.Resume {
 		res.Restart = restart
 	}

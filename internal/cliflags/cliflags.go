@@ -6,6 +6,8 @@ package cliflags
 import (
 	"fmt"
 	"time"
+
+	"haralick4d/internal/dataset"
 )
 
 // ParseRestartFlags validates the checkpoint/restart and watchdog flag
@@ -41,4 +43,25 @@ func ParseRestartFlags(checkpoint string, resume bool, intervalS, stallS string)
 		stall = d
 	}
 	return interval, stall, nil
+}
+
+// ParseBackendFlags validates the dataset-backend flag subset: the dataset
+// URL (-dataset-url, or a positional directory) and the block-cache sizing
+// (-cache-blocks, -cache-block-size). Violations are usage errors — the CLIs
+// print them with flag.Usage() and exit 2. Returns the URL options to pass
+// to dataset.OpenURL.
+func ParseBackendFlags(url string, cacheBlocks, cacheBlockSize int) (*dataset.URLOptions, error) {
+	if _, _, err := dataset.ParseURL(url); err != nil {
+		return nil, err
+	}
+	if cacheBlocks < 0 {
+		return nil, fmt.Errorf("-cache-blocks must not be negative, got %d", cacheBlocks)
+	}
+	if cacheBlockSize < 0 {
+		return nil, fmt.Errorf("-cache-block-size must not be negative, got %d", cacheBlockSize)
+	}
+	if cacheBlockSize > 0 && cacheBlocks == 0 {
+		return nil, fmt.Errorf("-cache-block-size without -cache-blocks has no cache to size")
+	}
+	return &dataset.URLOptions{CacheBlocks: cacheBlocks, CacheBlockSize: cacheBlockSize}, nil
 }

@@ -1,15 +1,23 @@
 package dataset
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
-func benchStore(b *testing.B) *Store {
+func benchDir(b *testing.B) string {
 	b.Helper()
 	v := randomVolume(21, [4]int{256, 256, 4, 2})
 	dir := b.TempDir()
 	if _, err := Write(dir, v, 1); err != nil {
 		b.Fatal(err)
 	}
-	st, err := Open(dir)
+	return dir
+}
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	st, err := Open(benchDir(b))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -47,5 +55,39 @@ func BenchmarkReadSliceUnverified(b *testing.B) {
 		if err := st.ReadSliceInto(0, refs[i%len(refs)], out); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Benchmarks the local backend's bounded FD cache against open-per-read:
+// the cached variant pays os.Open once per file, the uncached variant on
+// every ReadSlice — the per-node handle-reuse claim from the redesign.
+func BenchmarkReadSliceFDCache(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		maxOpen int
+	}{
+		{"handle-reuse", 0},   // default bounded cache (128 handles)
+		{"open-per-read", -1}, // historical behaviour: open, read, close
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dir := benchDir(b)
+			st, err := OpenBackend(context.Background(), NewLocalBackend(dir, tc.maxOpen))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			refs, err := st.NodeIndex(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]uint16, 256*256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.ReadSliceInto(0, refs[i%len(refs)], out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Stats().Opens)/float64(b.N), "opens/op")
+		})
 	}
 }

@@ -19,6 +19,8 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -161,6 +163,35 @@ func Write(dir string, v *volume.Volume, nodes int) (*Meta, error) {
 
 // WriteDistributed is Write with an explicit declustering policy.
 func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution) (*Meta, error) {
+	return writeDataset(dirWriter{dir: dir}, v, nodes, dist)
+}
+
+// blobWriter is the write half of the storage abstraction: the dataset
+// writer targets it so the same layout lands on a local directory tree
+// (dirWriter) or in memory (MemBackend). Names are slash-separated paths
+// relative to the dataset root.
+type blobWriter interface {
+	WriteFile(name string, data []byte) error
+}
+
+// dirWriter writes blobs atomically under a root directory, creating parent
+// directories as needed.
+type dirWriter struct{ dir string }
+
+func (w dirWriter) WriteFile(name string, data []byte) error {
+	path := filepath.Join(w.dir, filepath.FromSlash(name))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return atomicWriteFile(path, data)
+}
+
+// writeDataset declusters the volume onto any blob writer in the canonical
+// layout: slice files, per-node index files with checksum columns, and the
+// header last (a crash at any earlier point leaves a root without
+// dataset.json, which Open rejects outright instead of serving a partial
+// dataset).
+func writeDataset(w blobWriter, v *volume.Volume, nodes int, dist Distribution) (*Meta, error) {
 	if nodes < 1 {
 		return nil, fmt.Errorf("dataset: node count %d must be >= 1", nodes)
 	}
@@ -171,11 +202,6 @@ func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution
 	meta := &Meta{Version: FormatVersion, Dims: v.Dims, Nodes: nodes, Min: lo, Max: hi, Dist: dist, Checksums: true}
 
 	indexes := make([][]SliceRef, nodes)
-	for node := 0; node < nodes; node++ {
-		if err := os.MkdirAll(filepath.Join(dir, nodeDirName(node)), 0o755); err != nil {
-			return nil, fmt.Errorf("dataset: %w", err)
-		}
-	}
 	X, Y := v.Dims[0], v.Dims[1]
 	buf := make([]byte, 2*X*Y)
 	for t := 0; t < v.Dims[3]; t++ {
@@ -187,15 +213,16 @@ func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution
 				binary.LittleEndian.PutUint16(buf[2*i:], val)
 			}
 			ref.CRC, ref.HasCRC = crc32.Checksum(buf, castagnoli), true
-			path := filepath.Join(dir, nodeDirName(node), ref.File)
-			if err := atomicWriteFile(path, buf); err != nil {
+			data := make([]byte, len(buf))
+			copy(data, buf)
+			if err := w.WriteFile(nodeDirName(node)+"/"+ref.File, data); err != nil {
 				return nil, fmt.Errorf("dataset: writing slice: %w", err)
 			}
 			indexes[node] = append(indexes[node], ref)
 		}
 	}
 	for node, refs := range indexes {
-		if err := writeIndex(filepath.Join(dir, nodeDirName(node), "index.txt"), refs); err != nil {
+		if err := writeIndex(w, nodeDirName(node)+"/index.txt", refs); err != nil {
 			return nil, err
 		}
 	}
@@ -203,16 +230,13 @@ func WriteDistributed(dir string, v *volume.Volume, nodes int, dist Distribution
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
-	// The header is written last: a generation crash at any earlier point
-	// leaves a directory without dataset.json, which Open rejects outright
-	// instead of serving a partial dataset.
-	if err := atomicWriteFile(filepath.Join(dir, "dataset.json"), append(hdr, '\n')); err != nil {
+	if err := w.WriteFile("dataset.json", append(hdr, '\n')); err != nil {
 		return nil, fmt.Errorf("dataset: writing header: %w", err)
 	}
 	return meta, nil
 }
 
-func writeIndex(path string, refs []SliceRef) error {
+func writeIndex(w blobWriter, name string, refs []SliceRef) error {
 	var b strings.Builder
 	for _, r := range refs {
 		if r.HasCRC {
@@ -221,7 +245,7 @@ func writeIndex(path string, refs []SliceRef) error {
 			fmt.Fprintf(&b, "%s %d %d\n", r.File, r.T, r.Z)
 		}
 	}
-	if err := atomicWriteFile(path, []byte(b.String())); err != nil {
+	if err := w.WriteFile(name, []byte(b.String())); err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
 	return nil
@@ -250,16 +274,32 @@ func atomicWriteFile(path string, data []byte) error {
 	return os.Rename(tmp, path)
 }
 
-// Store provides read access to a dataset directory.
+// Store provides read access to a dataset through a storage backend.
 type Store struct {
+	// Dir is the local root directory when the backend is local-FS (possibly
+	// behind a cache layer), "" otherwise. Retained for callers that poke the
+	// on-disk layout directly (corruption injection, node-dir tooling).
 	Dir  string
 	Meta Meta
+	be   Backend
 }
 
-// Open reads the dataset header and returns a store.
+// Open reads the dataset header of a local directory and returns a store —
+// the original entry point, now a thin shim over the backend machinery with
+// the default file-descriptor cache.
 func Open(dir string) (*Store, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, "dataset.json"))
+	return OpenBackend(context.Background(), NewLocalBackend(dir, 0))
+}
+
+// OpenBackend reads the dataset header through the given backend and returns
+// a store whose reads go through it. ctx bounds the header fetch and is not
+// retained. The store owns the backend; Close releases it.
+func OpenBackend(ctx context.Context, be Backend) (*Store, error) {
+	raw, err := be.ReadFile(ctx, "dataset.json")
 	if err != nil {
+		if errors.Is(err, ErrBackendUnavailable) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
 	var meta Meta
@@ -272,29 +312,82 @@ func Open(dir string) (*Store, error) {
 	if meta.Nodes < 1 || volume.NumVoxels(meta.Dims) <= 0 {
 		return nil, fmt.Errorf("dataset: corrupt header: %+v", meta)
 	}
-	return &Store{Dir: dir, Meta: meta}, nil
+	return &Store{Dir: localDirOf(be), Meta: meta, be: be}, nil
 }
 
-// NodeDir returns the directory of the given storage node.
+// Backend returns the store's storage backend.
+func (s *Store) Backend() Backend { return s.be }
+
+// Stats returns the backend's I/O and cache counters.
+func (s *Store) Stats() Stats { return s.be.Stats() }
+
+// Close releases the backend (cached file handles, idle connections). Reads
+// after Close fail.
+func (s *Store) Close() error { return s.be.Close() }
+
+// WithCache returns a store over the same dataset whose reads go through a
+// fixed-size block cache of blocks × blockSize bytes (blockSize 0 selects
+// DefaultCacheBlockSize) layered over this store's backend. The two stores
+// share the backend; close only one of them.
+func (s *Store) WithCache(blockSize, blocks int) (*Store, error) {
+	cb, err := NewCachedBackend(s.be, blockSize, blocks)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{Dir: s.Dir, Meta: s.Meta, be: cb}, nil
+}
+
+// NodeDir returns the local directory of the given storage node. Meaningful
+// only for local-FS backends (Dir != "").
 func (s *Store) NodeDir(node int) string { return filepath.Join(s.Dir, nodeDirName(node)) }
+
+// nodeObjectName returns the backend name of a file in a node's directory.
+func nodeObjectName(node int, file string) string { return nodeDirName(node) + "/" + file }
 
 // NodeIndex parses the node's index file and returns its slice refs sorted
 // by (T, Z).
 func (s *Store) NodeIndex(node int) ([]SliceRef, error) {
+	return s.NodeIndexContext(context.Background(), node)
+}
+
+// NodeIndexContext is NodeIndex bounded by ctx.
+func (s *Store) NodeIndexContext(ctx context.Context, node int) ([]SliceRef, error) {
 	if node < 0 || node >= s.Meta.Nodes {
 		return nil, fmt.Errorf("dataset: node %d out of range [0, %d)", node, s.Meta.Nodes)
 	}
-	f, err := os.Open(filepath.Join(s.NodeDir(node), "index.txt"))
+	raw, err := s.be.ReadFile(ctx, nodeObjectName(node, "index.txt"))
 	if err != nil {
+		if errors.Is(err, ErrBackendUnavailable) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
-	defer f.Close()
+	refs, err := parseIndex(node, raw, s.Meta.Dims)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].T != refs[j].T {
+			return refs[i].T < refs[j].T
+		}
+		return refs[i].Z < refs[j].Z
+	})
+	return refs, nil
+}
+
+// parseIndex parses one node's index file: lines of "<file> <t> <z>" with an
+// optional fourth CRC-32C hex column. Slice coordinates are range-checked
+// against dims. Shared by the store and the format fuzz tests.
+func parseIndex(node int, raw []byte, dims [4]int) ([]SliceRef, error) {
 	var refs []SliceRef
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(bytes.NewReader(raw))
 	line := 0
 	for sc.Scan() {
 		line++
 		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
 		if len(fields) < 3 || len(fields) > 4 {
 			return nil, fmt.Errorf("dataset: node %d index line %d: want 3 or 4 fields, got %d", node, line, len(fields))
 		}
@@ -314,7 +407,7 @@ func (s *Store) NodeIndex(node int) ([]SliceRef, error) {
 			}
 			r.CRC, r.HasCRC = uint32(crc), true
 		}
-		if r.T < 0 || r.T >= s.Meta.Dims[3] || r.Z < 0 || r.Z >= s.Meta.Dims[2] {
+		if r.T < 0 || r.T >= dims[3] || r.Z < 0 || r.Z >= dims[2] {
 			return nil, fmt.Errorf("dataset: node %d index line %d: slice (z=%d, t=%d) out of range", node, line, r.Z, r.T)
 		}
 		refs = append(refs, r)
@@ -322,12 +415,6 @@ func (s *Store) NodeIndex(node int) ([]SliceRef, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
 	}
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].T != refs[j].T {
-			return refs[i].T < refs[j].T
-		}
-		return refs[i].Z < refs[j].Z
-	})
 	return refs, nil
 }
 
@@ -369,11 +456,35 @@ func DecodeUint16s(dst []uint16, src []byte) {
 	}
 }
 
+// sliceReadErr classifies a backend failure while reading a slice: transport
+// and storage-layer failures (ErrBackendUnavailable) pass through unmarked —
+// they say nothing about this slice and must abort even under SkipDegraded —
+// while everything else (missing, truncated, short-read files) is per-slice
+// degraded data.
+func sliceReadErr(format string, args ...any) error {
+	for _, a := range args {
+		err, ok := a.(error)
+		if !ok {
+			continue
+		}
+		if errors.Is(err, ErrBackendUnavailable) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf(format, args...)
+		}
+	}
+	return degradedf(format, args...)
+}
+
 // ReadSlice reads one whole 2D slice from the given node.
 func (s *Store) ReadSlice(node int, ref SliceRef) ([]uint16, error) {
+	return s.ReadSliceContext(context.Background(), node, ref)
+}
+
+// ReadSliceContext is ReadSlice bounded by ctx.
+func (s *Store) ReadSliceContext(ctx context.Context, node int, ref SliceRef) ([]uint16, error) {
 	X, Y := s.Meta.Dims[0], s.Meta.Dims[1]
 	out := make([]uint16, X*Y)
-	if err := s.ReadSliceInto(node, ref, out); err != nil {
+	if err := s.ReadSliceIntoContext(ctx, node, ref, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -390,26 +501,29 @@ func (s *Store) ReadSlice(node int, ref SliceRef) ([]uint16, error) {
 // positioned row reads of ReadSliceRegionInto detect truncation but not
 // bit flips.
 func (s *Store) ReadSliceInto(node int, ref SliceRef, out []uint16) error {
+	return s.ReadSliceIntoContext(context.Background(), node, ref, out)
+}
+
+// ReadSliceIntoContext is ReadSliceInto bounded by ctx.
+func (s *Store) ReadSliceIntoContext(ctx context.Context, node int, ref SliceRef, out []uint16) error {
 	X, Y := s.Meta.Dims[0], s.Meta.Dims[1]
 	if len(out) != X*Y {
 		return fmt.Errorf("dataset: slice buffer holds %d values, want %d", len(out), X*Y)
 	}
-	f, err := os.Open(filepath.Join(s.NodeDir(node), ref.File))
+	obj, err := s.be.Open(ctx, nodeObjectName(node, ref.File))
 	if err != nil {
-		return degradedf("slice %s: %w", ref.File, err)
+		return sliceReadErr("slice %s: %w", ref.File, err)
 	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return degradedf("slice %s: %w", ref.File, err)
-	}
-	if st.Size() != int64(2*X*Y) {
-		return degradedf("slice %s has %d bytes, want %d", ref.File, st.Size(), 2*X*Y)
+	defer obj.Close()
+	if obj.Size() != int64(2*X*Y) {
+		return degradedf("slice %s has %d bytes, want %d", ref.File, obj.Size(), 2*X*Y)
 	}
 	raw := getRawBuf(2 * X * Y)
 	defer putRawBuf(raw)
-	if _, err := io.ReadFull(f, raw); err != nil {
-		return degradedf("reading %s: %w", ref.File, err)
+	if n, err := obj.ReadAt(ctx, raw, 0); err != nil && !(err == io.EOF && n == len(raw)) {
+		return sliceReadErr("reading %s: %w", ref.File, err)
+	} else if n != len(raw) {
+		return degradedf("reading %s: short read %d of %d bytes", ref.File, n, len(raw))
 	}
 	if ref.HasCRC {
 		if got := crc32.Checksum(raw, castagnoli); got != ref.CRC {
@@ -424,12 +538,17 @@ func (s *Store) ReadSliceInto(node int, ref SliceRef, out []uint16) error {
 // positioned reads — the paper's "RFR filter reads a 2D subsection of each
 // image slice". Row-sized reads keep the seek count at one per row.
 func (s *Store) ReadSliceRegion(node int, ref SliceRef, x0, x1, y0, y1 int) ([]uint16, error) {
+	return s.ReadSliceRegionContext(context.Background(), node, ref, x0, x1, y0, y1)
+}
+
+// ReadSliceRegionContext is ReadSliceRegion bounded by ctx.
+func (s *Store) ReadSliceRegionContext(ctx context.Context, node int, ref SliceRef, x0, x1, y0, y1 int) ([]uint16, error) {
 	X, Y := s.Meta.Dims[0], s.Meta.Dims[1]
 	if x0 < 0 || x1 > X || y0 < 0 || y1 > Y || x0 >= x1 || y0 >= y1 {
 		return nil, fmt.Errorf("dataset: region [%d,%d)x[%d,%d) outside slice %dx%d", x0, x1, y0, y1, X, Y)
 	}
 	out := make([]uint16, (x1-x0)*(y1-y0))
-	if err := s.ReadSliceRegionInto(node, ref, x0, x1, y0, y1, out); err != nil {
+	if err := s.ReadSliceRegionIntoContext(ctx, node, ref, x0, x1, y0, y1, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -438,6 +557,11 @@ func (s *Store) ReadSliceRegion(node int, ref SliceRef, x0, x1, y0, y1 int) ([]u
 // ReadSliceRegionInto is ReadSliceRegion decoding into the caller's
 // (x1−x0)·(y1−y0)-value buffer.
 func (s *Store) ReadSliceRegionInto(node int, ref SliceRef, x0, x1, y0, y1 int, out []uint16) error {
+	return s.ReadSliceRegionIntoContext(context.Background(), node, ref, x0, x1, y0, y1, out)
+}
+
+// ReadSliceRegionIntoContext is ReadSliceRegionInto bounded by ctx.
+func (s *Store) ReadSliceRegionIntoContext(ctx context.Context, node int, ref SliceRef, x0, x1, y0, y1 int, out []uint16) error {
 	X, Y := s.Meta.Dims[0], s.Meta.Dims[1]
 	if x0 < 0 || x1 > X || y0 < 0 || y1 > Y || x0 >= x1 || y0 >= y1 {
 		return fmt.Errorf("dataset: region [%d,%d)x[%d,%d) outside slice %dx%d", x0, x1, y0, y1, X, Y)
@@ -446,11 +570,11 @@ func (s *Store) ReadSliceRegionInto(node int, ref SliceRef, x0, x1, y0, y1 int, 
 	if len(out) != w*(y1-y0) {
 		return fmt.Errorf("dataset: region buffer holds %d values, want %d", len(out), w*(y1-y0))
 	}
-	f, err := os.Open(filepath.Join(s.NodeDir(node), ref.File))
+	obj, err := s.be.Open(ctx, nodeObjectName(node, ref.File))
 	if err != nil {
-		return degradedf("slice %s: %w", ref.File, err)
+		return sliceReadErr("slice %s: %w", ref.File, err)
 	}
-	defer f.Close()
+	defer obj.Close()
 	row := getRawBuf(2 * w)
 	defer putRawBuf(row)
 	for y := y0; y < y1; y++ {
@@ -458,8 +582,8 @@ func (s *Store) ReadSliceRegionInto(node int, ref SliceRef, x0, x1, y0, y1 int, 
 		// ReadAt returns a non-nil error (io.EOF included) whenever it reads
 		// fewer than len(row) bytes, so a truncated slice file surfaces here
 		// instead of yielding silently zeroed rows.
-		if n, err := f.ReadAt(row, off); err != nil {
-			return degradedf("slice %s row %d: read %d of %d bytes at offset %d: %w",
+		if n, err := obj.ReadAt(ctx, row, off); err != nil && !(err == io.EOF && n == len(row)) {
+			return sliceReadErr("slice %s row %d: read %d of %d bytes at offset %d: %w",
 				ref.File, y, n, len(row), off, err)
 		}
 		DecodeUint16s(out[(y-y0)*w:(y-y0+1)*w], row)
@@ -471,14 +595,19 @@ func (s *Store) ReadSliceRegionInto(node int, ref SliceRef, x0, x1, y0, y1 int, 
 // footnote 1 of the paper applies only to datasets that fit in memory; this
 // is also the test oracle).
 func (s *Store) ReadVolume() (*volume.Volume, error) {
+	return s.ReadVolumeContext(context.Background())
+}
+
+// ReadVolumeContext is ReadVolume bounded by ctx.
+func (s *Store) ReadVolumeContext(ctx context.Context) (*volume.Volume, error) {
 	v := volume.NewVolume(s.Meta.Dims)
 	for node := 0; node < s.Meta.Nodes; node++ {
-		refs, err := s.NodeIndex(node)
+		refs, err := s.NodeIndexContext(ctx, node)
 		if err != nil {
 			return nil, err
 		}
 		for _, ref := range refs {
-			sl, err := s.ReadSlice(node, ref)
+			sl, err := s.ReadSliceContext(ctx, node, ref)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultHTTPAttempts is the per-request try budget of the HTTP backend:
+// transient transport failures and server errors are retried with a short
+// linear backoff before the read is reported ErrBackendUnavailable.
+const DefaultHTTPAttempts = 3
+
+// HTTPBackend serves a dataset from a remote HTTP(S) server using range
+// reads — an object-store-style remote: the server only needs to answer
+// GET/HEAD with Range support (http.FileServer, nginx, S3-compatible
+// gateways all do). Slice checksums travel in the index files unchanged, so
+// CRC verification catches remote bit rot exactly as it does local.
+type HTTPBackend struct {
+	base     *url.URL
+	client   *http.Client
+	attempts int
+	// sizes memoizes object sizes by URL: dataset objects are immutable
+	// once the header is published, so repeat Opens of a hot slice skip
+	// the HEAD round trip — the remote analog of the local backend's
+	// handle reuse.
+	sizes sync.Map // url -> int64
+	c     counters
+}
+
+// NewHTTPBackend returns a Backend rooted at baseURL (the directory that
+// holds dataset.json). client nil selects http.DefaultClient; attempts <= 0
+// selects DefaultHTTPAttempts.
+func NewHTTPBackend(baseURL string, client *http.Client, attempts int) (*HTTPBackend, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: invalid backend URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("dataset: backend URL %q: scheme %q is not http(s)", baseURL, u.Scheme)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("dataset: backend URL %q has no host", baseURL)
+	}
+	if !strings.HasSuffix(u.Path, "/") {
+		u.Path += "/"
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if attempts <= 0 {
+		attempts = DefaultHTTPAttempts
+	}
+	return &HTTPBackend{base: u, client: client, attempts: attempts}, nil
+}
+
+// Scheme implements Backend.
+func (b *HTTPBackend) Scheme() string { return b.base.Scheme }
+
+// URL implements Backend.
+func (b *HTTPBackend) URL() string { return strings.TrimSuffix(b.base.String(), "/") }
+
+func (b *HTTPBackend) objectURL(name string) string {
+	u := *b.base
+	u.Path += name
+	return u.String()
+}
+
+// retryable reports whether a failed attempt is worth repeating: transport
+// errors and server-side 5xx are transient; 4xx are definitive.
+func retryable(status int, err error) bool {
+	if err != nil {
+		return true
+	}
+	return status >= 500
+}
+
+// do issues one request with the retry budget. On success the caller owns
+// the response body. want lists the statuses that count as success; any
+// other non-retryable status is returned as a *httpStatusError.
+func (b *HTTPBackend) do(ctx context.Context, method, u string, rangeHdr string, want ...int) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < b.attempts; attempt++ {
+		if attempt > 0 {
+			// Deterministic linear backoff: long enough to skate over a
+			// broken keep-alive connection, short enough for tests.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(attempt) * 10 * time.Millisecond):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, nil)
+		if err != nil {
+			return nil, backendErrf("%s %s: %w", method, u, err)
+		}
+		if rangeHdr != "" {
+			req.Header.Set("Range", rangeHdr)
+		}
+		resp, err := b.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		for _, w := range want {
+			if resp.StatusCode == w {
+				return resp, nil
+			}
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusGone:
+			return nil, notExistf("dataset: %s %s: %s", method, u, resp.Status)
+		case retryable(resp.StatusCode, nil):
+			lastErr = fmt.Errorf("%s", resp.Status)
+			continue
+		default:
+			return nil, backendErrf("%s %s: unexpected status %s", method, u, resp.Status)
+		}
+	}
+	return nil, backendErrf("%s %s: %d attempts failed, last: %w", method, u, b.attempts, lastErr)
+}
+
+// Open implements Backend: a HEAD learns the object's size (memoized per
+// URL); reads then go through ranged GETs.
+func (b *HTTPBackend) Open(ctx context.Context, name string) (Object, error) {
+	u := b.objectURL(name)
+	if size, ok := b.sizes.Load(u); ok {
+		return &httpObject{be: b, url: u, size: size.(int64)}, nil
+	}
+	resp, err := b.do(ctx, http.MethodHead, u, "", http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.ContentLength < 0 {
+		return nil, backendErrf("HEAD %s: server reports no content length", u)
+	}
+	b.c.opens.Add(1)
+	b.sizes.Store(u, resp.ContentLength)
+	return &httpObject{be: b, url: u, size: resp.ContentLength}, nil
+}
+
+// ReadFile implements Backend.
+func (b *HTTPBackend) ReadFile(ctx context.Context, name string) ([]byte, error) {
+	u := b.objectURL(name)
+	resp, err := b.do(ctx, http.MethodGet, u, "", http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, backendErrf("GET %s: reading body: %w", u, err)
+	}
+	b.c.reads.Add(1)
+	b.c.readBytes.Add(int64(len(data)))
+	return data, nil
+}
+
+// List implements Backend. Plain HTTP servers expose no portable listing
+// protocol, and the dataset layout never needs one: every slice is found
+// through the index files. Kept unimplemented rather than scraping HTML
+// directory pages.
+func (b *HTTPBackend) List(ctx context.Context, dir string) ([]string, error) {
+	return nil, backendErrf("http backend does not support listing (reads are index-driven)")
+}
+
+// Stats implements Backend.
+func (b *HTTPBackend) Stats() Stats { return b.c.stats(b.Scheme(), b.URL()) }
+
+// Close implements Backend.
+func (b *HTTPBackend) Close() error {
+	b.client.CloseIdleConnections()
+	return nil
+}
+
+// httpObject is an Object over one remote file.
+type httpObject struct {
+	be   *HTTPBackend
+	url  string
+	size int64
+}
+
+// ReadAt implements Object with a ranged GET per call. The reader filters
+// issue row- or slice-sized reads, so per-call overhead is amortized over
+// kilobytes — and the block cache turns repeat visits into memory copies.
+func (o *httpObject) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off >= o.size {
+		return 0, io.EOF
+	}
+	rangeHdr := fmt.Sprintf("bytes=%d-%d", off, off+int64(len(p))-1)
+	resp, err := o.be.do(ctx, http.MethodGet, o.url, rangeHdr,
+		http.StatusPartialContent, http.StatusOK, http.StatusRequestedRangeNotSatisfiable)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusRequestedRangeNotSatisfiable:
+		// The object shrank since Open — a remote truncation.
+		return 0, io.EOF
+	case http.StatusOK:
+		// The server ignored the Range header; accept only a whole-object
+		// read, otherwise every row read would transfer the full file.
+		if off != 0 || int64(len(p)) < o.size {
+			return 0, backendErrf("GET %s: server does not support range requests", o.url)
+		}
+	}
+	n, err := io.ReadFull(resp.Body, p)
+	o.be.c.reads.Add(1)
+	o.be.c.readBytes.Add(int64(n))
+	if err == io.ErrUnexpectedEOF {
+		err = io.EOF // short object: io.ReaderAt reports EOF with the partial read
+	} else if err != nil {
+		return n, backendErrf("GET %s: reading range %s: %w", o.url, rangeHdr, err)
+	}
+	return n, err
+}
+
+// Size implements Object.
+func (o *httpObject) Size() int64 { return o.size }
+
+// Close implements Object.
+func (o *httpObject) Close() error { return nil }

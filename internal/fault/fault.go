@@ -1,8 +1,9 @@
 // Package fault provides deterministic, seedable fault injection for the
 // filter-stream runtime's chaos tests: flaky/partial net.Conn wrappers for
 // the TCP transport, corrupt/truncated/slow io.ReaderAt wrappers for the I/O
-// layer, crash-at-Nth-buffer filter copies for the failover scheduler, and
-// the degraded-read Policy shared by the reader filters and the façade.
+// layer, a flaky http.RoundTripper for the remote dataset backend,
+// crash-at-Nth-buffer filter copies for the failover scheduler, and the
+// degraded-read Policy shared by the reader filters and the façade.
 //
 // Every injector is deterministic given its construction parameters, so a
 // chaos run with a fixed seed reproduces bit-identically under -race and in
@@ -14,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"haralick4d/internal/filter"
@@ -169,6 +172,39 @@ func (s *SlowReaderAt) ReadAt(p []byte, off int64) (int, error) {
 	time.Sleep(s.Delay)
 	return s.R.ReadAt(p, off)
 }
+
+// FlakyTransport wraps an http.RoundTripper so a deterministic subset of
+// requests fail with a transport error before reaching the server: every
+// FailEvery-th request (counting from 1) dies. It exercises the HTTP dataset
+// backend's retry budget — with FailEvery above 1 the backend's retries
+// absorb every injected failure and the run completes bit-identically; with
+// FailEvery 1 every attempt dies and reads surface
+// dataset.ErrBackendUnavailable.
+type FlakyTransport struct {
+	// Inner handles the surviving requests; nil selects
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+	// FailEvery fails every n-th request; 0 never fails.
+	FailEvery int
+
+	calls atomic.Int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := f.calls.Add(1)
+	if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+		return nil, fmt.Errorf("request %d: %w", n, ErrInjected)
+	}
+	inner := f.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
+}
+
+// Calls reports how many requests have passed through the injector.
+func (f *FlakyTransport) Calls() int64 { return f.calls.Load() }
 
 // CrashAfter wraps a filter factory so that copy crashCopy panics
 // immediately after receiving its n-th buffer — while the buffer is still

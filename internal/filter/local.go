@@ -544,6 +544,29 @@ func (c *localCtx) Aborting() bool {
 	}
 }
 
+// RunContext returns a context.Context that is cancelled when the run aborts
+// — the bridge between the engine's done channel and context-aware I/O
+// (backend reads, HTTP range requests). Filters discover it by type
+// assertion, like Aborting; engines without one (the simulation) leave the
+// filters on context.Background.
+func (c *localCtx) RunContext() context.Context { return doneCtx{done: c.rt.done} }
+
+// doneCtx adapts the runtime's done channel to the context.Context interface
+// without spawning a propagation goroutine per copy.
+type doneCtx struct{ done chan struct{} }
+
+func (d doneCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (d doneCtx) Done() <-chan struct{}       { return d.done }
+func (d doneCtx) Err() error {
+	select {
+	case <-d.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+func (d doneCtx) Value(key any) any { return nil }
+
 func (c *localCtx) FilterName() string     { return c.st.filter }
 func (c *localCtx) CopyIndex() int         { return c.st.copyIdx }
 func (c *localCtx) NumCopies() int         { return len(c.rt.copies[c.st.filter]) }

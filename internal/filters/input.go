@@ -1,6 +1,7 @@
 package filters
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -11,6 +12,18 @@ import (
 	"haralick4d/internal/readahead"
 	"haralick4d/internal/volume"
 )
+
+// runContext returns the engine run's context when the engine exposes one
+// (the in-process engines cancel it on abort, so backend reads — local,
+// in-memory or HTTP — unblock promptly), falling back to the background
+// context on engines that don't (the simulation). Discovered by type
+// assertion, the same optional-capability idiom as Aborting.
+func runContext(ctx filter.Context) context.Context {
+	if rc, ok := ctx.(interface{ RunContext() context.Context }); ok {
+		return rc.RunContext()
+	}
+	return context.Background()
+}
 
 // chunkOwnerIIC returns the IIC copy responsible for assembling the given
 // texture chunk: chunks are dealt round-robin across the explicit IIC
@@ -65,11 +78,12 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 		return filter.Func(func(ctx filter.Context) error {
 			st := cfg.Store
 			meta := &st.Meta
+			rctx := runContext(ctx)
 			iicCopies := ctx.ConsumerCopies(PortOut)
 			if iicCopies == 0 {
 				return fmt.Errorf("filters: RFR output not connected")
 			}
-			refs, err := st.NodeIndex(ctx.CopyIndex())
+			refs, err := st.NodeIndexContext(rctx, ctx.CopyIndex())
 			if err != nil {
 				return err
 			}
@@ -129,9 +143,9 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 				defer putU16(raw)
 				var err error
 				if w.x0 == 0 && w.x1 == X && w.y0 == 0 && w.y1 == Y {
-					err = st.ReadSliceInto(ctx.CopyIndex(), w.ref, raw)
+					err = st.ReadSliceIntoContext(rctx, ctx.CopyIndex(), w.ref, raw)
 				} else {
-					err = st.ReadSliceRegionInto(ctx.CopyIndex(), w.ref, w.x0, w.x1, w.y0, w.y1, raw)
+					err = st.ReadSliceRegionIntoContext(rctx, ctx.CopyIndex(), w.ref, w.x0, w.x1, w.y0, w.y1, raw)
 				}
 				if err != nil {
 					return nil, err

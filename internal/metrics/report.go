@@ -113,6 +113,23 @@ type ConnReport struct {
 	RecvErrors  int64 `json:"recv_errors,omitempty"`
 }
 
+// BackendReport is one storage backend's I/O table entry: object opens,
+// positioned reads and bytes fetched from the backing store, plus the block
+// cache's hit/miss/evict/fetch counters when a cache layer is configured.
+// Populated from dataset.Stats after the run (the dataset layer stays free
+// of metrics imports and vice versa).
+type BackendReport struct {
+	Scheme          string `json:"scheme"`
+	URL             string `json:"url"`
+	Opens           int64  `json:"opens"`
+	Reads           int64  `json:"reads"`
+	ReadBytes       int64  `json:"read_bytes"`
+	CacheHits       int64  `json:"cache_hits,omitempty"`
+	CacheMisses     int64  `json:"cache_misses,omitempty"`
+	CacheEvictions  int64  `json:"cache_evictions,omitempty"`
+	CacheFetchBytes int64  `json:"cache_fetch_bytes,omitempty"`
+}
+
 // PathEntry is one filter's row of the critical-path summary: the mean
 // per-copy time split into busy/blocked/stalled shares of the elapsed run.
 // The filter with the largest busy share is the pipeline's bottleneck — the
@@ -139,12 +156,13 @@ type Summary struct {
 // (busy/blocked/stalled, stream waits, elapsed) are virtual time while
 // filter-recorded spans remain host wall time.
 type RunReport struct {
-	Engine    string         `json:"engine"`
-	ElapsedNS int64          `json:"elapsed_ns"`
-	Filters   []FilterReport `json:"filters"`
-	Streams   []StreamReport `json:"streams,omitempty"`
-	Network   []ConnReport   `json:"network,omitempty"`
-	Summary   Summary        `json:"summary"`
+	Engine    string          `json:"engine"`
+	ElapsedNS int64           `json:"elapsed_ns"`
+	Filters   []FilterReport  `json:"filters"`
+	Streams   []StreamReport  `json:"streams,omitempty"`
+	Network   []ConnReport    `json:"network,omitempty"`
+	Backends  []BackendReport `json:"backends,omitempty"`
+	Summary   Summary         `json:"summary"`
 }
 
 // Elapsed returns the run's end-to-end time.
@@ -300,6 +318,17 @@ func (r *RunReport) String() string {
 				fmt.Fprintf(&b, "    retries=%d redials=%d dups-dropped=%d recv-errors=%d\n",
 					c.Retries, c.Redials, c.DupsDropped, c.RecvErrors)
 			}
+		}
+	}
+	if len(r.Backends) > 0 {
+		fmt.Fprintf(&b, "backends:\n")
+		fmt.Fprintf(&b, "  %-8s %8s %10s %14s %10s %10s %10s %14s\n",
+			"scheme", "opens", "reads", "read-bytes", "hits", "misses", "evicts", "fetch-bytes")
+		for _, be := range r.Backends {
+			fmt.Fprintf(&b, "  %-8s %8d %10d %14d %10d %10d %10d %14d\n",
+				be.Scheme, be.Opens, be.Reads, be.ReadBytes,
+				be.CacheHits, be.CacheMisses, be.CacheEvictions, be.CacheFetchBytes)
+			fmt.Fprintf(&b, "    url %s\n", be.URL)
 		}
 	}
 	if len(r.Summary.Entries) > 0 {

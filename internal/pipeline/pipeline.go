@@ -20,6 +20,7 @@ import (
 	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
 	"haralick4d/internal/filters"
+	"haralick4d/internal/metrics"
 	"haralick4d/internal/volume"
 )
 
@@ -493,6 +494,29 @@ func RunContext(ctx context.Context, g *filter.Graph, engine Engine, opts *RunOp
 		})
 	}
 	return nil, fmt.Errorf("pipeline: invalid engine %d", int(engine))
+}
+
+// AttachBackendStats folds the store's backend I/O and cache counters into
+// the run report's backends table. Call it after the run completes; a nil
+// report (metrics disabled) or nil store is a no-op. Counters are cumulative
+// over the store's lifetime, so use a fresh store per run for per-run
+// numbers.
+func AttachBackendStats(rep *metrics.RunReport, store *dataset.Store) {
+	if rep == nil || store == nil {
+		return
+	}
+	s := store.Stats()
+	rep.Backends = append(rep.Backends, metrics.BackendReport{
+		Scheme:          s.Scheme,
+		URL:             s.URL,
+		Opens:           s.Opens,
+		Reads:           s.Reads,
+		ReadBytes:       s.ReadBytes,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		CacheEvictions:  s.CacheEvictions,
+		CacheFetchBytes: s.CacheFetchBytes,
+	})
 }
 
 // Sequential is the single-workstation reference implementation: read the

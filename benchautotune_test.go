@@ -1,0 +1,282 @@
+package haralick4d
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"haralick4d/internal/autotune"
+	"haralick4d/internal/core"
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/fault"
+	"haralick4d/internal/features"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/pipeline"
+	"haralick4d/internal/synthetic"
+	"haralick4d/internal/volume"
+)
+
+// autotuneScenario is one BENCH_autotune.json workload: a dataset behind an
+// injected per-read latency plus an analysis config, pipelined with the
+// given texture copy count. Static and tuned runs share every parameter;
+// the only difference is whether the feedback controller is attached.
+type autotuneScenario struct {
+	name      string
+	dims      [4]int
+	readDelay time.Duration
+	analysis  core.Config
+	copies    int
+}
+
+// runScenario builds and runs the HMP pipeline over the scenario's dataset,
+// returning elapsed wall time, the collected grids, and the attached report
+// when tuned.
+func runScenario(t *testing.T, sc *autotuneScenario, dir string, tuned bool) (time.Duration, map[features.Feature]*volume.FloatGrid, *autotune.Controller) {
+	t.Helper()
+	var reads atomic.Int64
+	be := dataset.WrapObjects(dataset.NewLocalBackend(dir, 0), func(name string, r io.ReaderAt) io.ReaderAt {
+		return countingReaderAt{r: &fault.SlowReaderAt{R: r, Delay: sc.readDelay}, n: &reads}
+	})
+	st, err := dataset.OpenBackend(context.Background(), be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var ctrl *autotune.Controller
+	if tuned {
+		ctrl = autotune.New(autotune.Config{Seed: 1, Interval: 10 * time.Millisecond})
+	}
+	cfg := &pipeline.Config{
+		Analysis:  sc.analysis,
+		Impl:      pipeline.HMPImpl,
+		Policy:    filter.DemandDriven,
+		Output:    pipeline.OutputCollect,
+		ReadAhead: 1, // the conservative static depth both runs start from
+		AutoTune:  ctrl,
+	}
+	layout := &pipeline.Layout{HMPNodes: make([]int, sc.copies)}
+	g, sink, _, err := pipeline.Build(st, cfg, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := pipeline.Run(g, pipeline.EngineLocal, &pipeline.RunOptions{AutoTune: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Complete(cfg.Analysis.Features); err != nil {
+		t.Fatal(err)
+	}
+	grids := map[features.Feature]*volume.FloatGrid{}
+	for _, f := range cfg.Analysis.Features {
+		grids[f] = sink.Grid(f)
+	}
+	t.Logf("reads=%d tuned=%v", reads.Load(), tuned)
+	return rs.Elapsed, grids, ctrl
+}
+
+type countingReaderAt struct {
+	r io.ReaderAt
+	n *atomic.Int64
+}
+
+func (c countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	c.n.Add(1)
+	return c.r.ReadAt(p, off)
+}
+
+func sameGrids(t *testing.T, name string, a, b map[features.Feature]*volume.FloatGrid) {
+	t.Helper()
+	for f, ga := range a {
+		gb := b[f]
+		if gb == nil || ga.Dims != gb.Dims || len(ga.Data) != len(gb.Data) {
+			t.Fatalf("%s: feature %v grids differ in shape", name, f)
+		}
+		for i := range ga.Data {
+			if ga.Data[i] != gb.Data[i] {
+				t.Fatalf("%s: feature %v voxel %d differs between static and tuned runs", name, f, i)
+			}
+		}
+	}
+}
+
+type autotuneBenchRow struct {
+	StaticNS  int64          `json:"static_ns"`
+	TunedNS   int64          `json:"tuned_ns"`
+	Speedup   float64        `json:"speedup"`
+	Decisions int            `json:"decisions"`
+	Final     map[string]int `json:"final"`
+}
+
+// TestWriteAutotuneBenchJSON measures the live controller's effect on an
+// I/O-bound and a compute-bound pipeline configuration and writes
+// BENCH_autotune.json. Both runs of each scenario start from the same
+// conservative configuration (read-ahead depth 1); the tuned run additionally
+// attaches the feedback controller. Outputs are asserted bit-identical —
+// tuning changes scheduling only.
+//
+//	HARALICK4D_BENCH_AUTOTUNE_OUT=$PWD/BENCH_autotune.json go test -run TestWriteAutotuneBenchJSON
+func TestWriteAutotuneBenchJSON(t *testing.T) {
+	out := os.Getenv("HARALICK4D_BENCH_AUTOTUNE_OUT")
+	if out == "" {
+		t.Skip("set HARALICK4D_BENCH_AUTOTUNE_OUT to regenerate BENCH_autotune.json")
+	}
+	scenarios := []*autotuneScenario{
+		{
+			// I/O-bound: every slice read eats 8 ms of injected latency over a
+			// 144-slice dataset while the texture kernel is cheap, so wall
+			// time is read time. A static depth-1 run leaves most of the read
+			// latency exposed; the controller's win is raising the prefetch
+			// depth until reads overlap (a static sweep of this config shows
+			// ~2x between depth 1 and depth 8).
+			name:      "io_bound",
+			dims:      [4]int{24, 24, 12, 12},
+			readDelay: 8 * time.Millisecond,
+			analysis: core.Config{
+				ROI: [4]int{4, 4, 2, 2}, GrayLevels: 8, NDim: 4, Distance: 1,
+				Features: features.PaperSet(),
+			},
+			copies: 2,
+		},
+		{
+			// Compute-bound: the full 40-direction 4D set over ROI 6x6x3x3 at
+			// G=32 dominates wall time; reads (144 slices at 5 ms) are the
+			// minority share. A single texture copy keeps the admission knob
+			// out of play — the controller's modest win is overlapping the
+			// residual read latency the static depth-1 run leaves exposed.
+			name:      "compute_bound",
+			dims:      [4]int{32, 32, 12, 12},
+			readDelay: 5 * time.Millisecond,
+			analysis: core.Config{
+				ROI: [4]int{6, 6, 3, 3}, GrayLevels: 32, NDim: 4, Distance: 1,
+				Features: features.PaperSet(),
+			},
+			copies: 1,
+		},
+	}
+	const reps = 3
+	rows := map[string]autotuneBenchRow{}
+	for _, sc := range scenarios {
+		v := synthetic.Generate(synthetic.Config{Dims: sc.dims, Seed: 11})
+		dir := t.TempDir()
+		if _, err := dataset.Write(dir, v, 3); err != nil {
+			t.Fatal(err)
+		}
+		var static, tuned time.Duration
+		var grids, tunedGrids map[features.Feature]*volume.FloatGrid
+		var ctrl *autotune.Controller
+		// Alternate static/tuned repetitions so slow host drift hits both.
+		for i := 0; i < reps; i++ {
+			runtime.GC()
+			ds, dg, _ := runScenario(t, sc, dir, false)
+			runtime.GC()
+			dt, tg, c := runScenario(t, sc, dir, true)
+			if i == 0 || ds < static {
+				static = ds
+			}
+			if i == 0 || dt < tuned {
+				tuned = dt
+			}
+			grids, tunedGrids, ctrl = dg, tg, c
+		}
+		sameGrids(t, sc.name, grids, tunedGrids)
+		decisions := ctrl.Decisions()
+		final := map[string]int{}
+		for _, d := range decisions {
+			final[d.Knob] = d.To
+		}
+		row := autotuneBenchRow{
+			StaticNS:  int64(static),
+			TunedNS:   int64(tuned),
+			Speedup:   float64(static) / float64(tuned),
+			Decisions: len(decisions),
+			Final:     final,
+		}
+		rows[sc.name] = row
+		t.Logf("%-13s static %v, tuned %v: %.2fx (%d decisions, final %v)",
+			sc.name, static, tuned, row.Speedup, row.Decisions, row.Final)
+		if row.Speedup < 1 {
+			t.Errorf("%s: autotuned run slower than static (%.2fx) — rerun on a quiet host", sc.name, row.Speedup)
+		}
+	}
+	doc := struct {
+		GeneratedBy string                      `json:"generated_by"`
+		Host        map[string]any              `json:"host"`
+		Workload    string                      `json:"workload"`
+		Results     map[string]autotuneBenchRow `json:"results"`
+		Notes       []string                    `json:"notes"`
+	}{
+		GeneratedBy: "go test -run TestWriteAutotuneBenchJSON (HARALICK4D_BENCH_AUTOTUNE_OUT)",
+		Host: map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cpus":       runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"go":         runtime.Version(),
+		},
+		Workload: "HMP pipeline over a disk-resident phantom behind injected per-read latency; static and tuned runs both start at read-ahead depth 1, min of 3 alternating repetitions",
+		Results:  rows,
+		Notes: []string{
+			"io_bound: 8 ms per slice read over 144 slices, cheap kernel (ROI 4x4x2x2, G=8), 2 texture copies — wall time is read latency, the controller buys overlap by raising the prefetch depth",
+			"compute_bound: 5 ms per slice read, full 40-direction 4D set over ROI 6x6x3x3 at G=32, single texture copy (admission knob idle) — compute dominates; the controller overlaps the residual exposed read latency",
+			"speedup = static_ns / tuned_ns; both runs share every configuration value, the tuned run only adds the feedback controller (seed 1, 10 ms ticks)",
+			"outputs are asserted bit-identical between static and tuned runs before the row is written — tuning turns scheduling knobs only",
+			"final is the last logged value per knob; decisions counts init records and every accepted/reverted move",
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// TestAutotuneBenchBaselineShape pins the committed BENCH_autotune.json:
+// host metadata, a row per scenario, and the headline claim — the autotuned
+// run is at least as fast as the static run on both the I/O-bound and the
+// compute-bound configuration, with tuning decisions actually logged.
+func TestAutotuneBenchBaselineShape(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_autotune.json")
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	var doc struct {
+		Host    map[string]any              `json:"host"`
+		Results map[string]autotuneBenchRow `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	for _, key := range []string{"cpus", "gomaxprocs", "go", "goos", "goarch"} {
+		if _, ok := doc.Host[key]; !ok {
+			t.Errorf("host metadata lacks %q", key)
+		}
+	}
+	for _, name := range []string{"io_bound", "compute_bound"} {
+		row, ok := doc.Results[name]
+		if !ok {
+			t.Errorf("results lack scenario %q", name)
+			continue
+		}
+		if row.StaticNS <= 0 || row.TunedNS <= 0 {
+			t.Errorf("%s: non-positive timings (%d, %d)", name, row.StaticNS, row.TunedNS)
+		}
+		if row.Speedup < 1 {
+			t.Errorf("%s: speedup %.3f < 1 (regenerate BENCH_autotune.json on a quiet host)", name, row.Speedup)
+		}
+		if row.Decisions == 0 {
+			t.Errorf("%s: no tuning decisions logged", name)
+		}
+		if _, ok := row.Final["readahead"]; !ok {
+			t.Errorf("%s: final knob values lack readahead: %v", name, row.Final)
+		}
+	}
+}

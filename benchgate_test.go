@@ -1,10 +1,18 @@
 package haralick4d
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"runtime"
 	"testing"
+	"time"
+
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/synthetic"
 )
 
 // TestKernelBenchGate is the CI kernel-performance regression gate: it
@@ -120,5 +128,135 @@ func TestKernelBenchBaselineShape(t *testing.T) {
 	}
 	if fmt.Sprintf("%v", doc.Host["cpus"]) == "0" {
 		t.Error("host cpus metadata is zero")
+	}
+}
+
+// backendBenchDoc mirrors the parts of BENCH_backend.json the shape pin and
+// the cache gate read.
+type backendBenchDoc struct {
+	Host    map[string]any             `json:"host"`
+	Results map[string]backendBenchRow `json:"results"`
+}
+
+func readBackendBaseline(t *testing.T) *backendBenchDoc {
+	t.Helper()
+	raw, err := os.ReadFile("BENCH_backend.json")
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	var doc backendBenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	return &doc
+}
+
+// TestBackendBenchBaselineShape pins the committed BENCH_backend.json
+// contract: host metadata, one row per backend (local, mem, http), each row
+// carrying positive uncached/cold/warm points and cache counters, and the
+// headline claim — the http backend's warm-cache sweep beats its uncached
+// sweep by at least 2x on the generating host.
+func TestBackendBenchBaselineShape(t *testing.T) {
+	doc := readBackendBaseline(t)
+	for _, key := range []string{"cpus", "gomaxprocs", "go", "goos", "goarch"} {
+		if _, ok := doc.Host[key]; !ok {
+			t.Errorf("host metadata lacks %q", key)
+		}
+	}
+	for _, name := range []string{"local", "mem", "http"} {
+		row, ok := doc.Results[name]
+		if !ok {
+			t.Errorf("results lack backend %q", name)
+			continue
+		}
+		for pname, p := range map[string]backendBenchPoint{
+			"uncached": row.Uncached, "cache_cold": row.CacheCold, "cache_warm": row.CacheWarm,
+		} {
+			if p.ElapsedNS <= 0 || p.MBPerS <= 0 {
+				t.Errorf("%s.%s: non-positive elapsed_ns/mb_per_s (%d, %f)", name, pname, p.ElapsedNS, p.MBPerS)
+			}
+		}
+		if row.CacheHits <= 0 || row.CacheMisses <= 0 {
+			t.Errorf("%s: cache counters not recorded (hits=%d misses=%d)", name, row.CacheHits, row.CacheMisses)
+		}
+	}
+	if http := doc.Results["http"]; http.CacheWarm.ElapsedNS > 0 {
+		ratio := float64(http.Uncached.ElapsedNS) / float64(http.CacheWarm.ElapsedNS)
+		if ratio < 2 {
+			t.Errorf("http warm-cache speedup %.2fx < 2x (regenerate BENCH_backend.json)", ratio)
+		}
+	}
+}
+
+// TestBackendBenchGate is the CI cache-effectiveness regression gate: it
+// replays the http backend's measurement live — a ranged-GET sweep of a
+// small dataset, uncached versus through a warm block cache — and requires
+// the warm-cache speedup to retain at least a quarter of the committed
+// baseline's ratio (floored at 2x). The wide margin absorbs host noise; a
+// broken cache (every warm read going back to the server) fails by an order
+// of magnitude, not by percents.
+//
+// Opt-in via HARALICK4D_BENCH_GATE=1 like the kernel gate.
+func TestBackendBenchGate(t *testing.T) {
+	if os.Getenv("HARALICK4D_BENCH_GATE") == "" {
+		t.Skip("set HARALICK4D_BENCH_GATE=1 to run the backend cache regression gate")
+	}
+	doc := readBackendBaseline(t)
+	base := doc.Results["http"]
+	if base.Uncached.ElapsedNS <= 0 || base.CacheWarm.ElapsedNS <= 0 {
+		t.Fatal("baseline lacks http uncached/cache_warm rows")
+	}
+	baseRatio := float64(base.Uncached.ElapsedNS) / float64(base.CacheWarm.ElapsedNS)
+	want := 0.25 * baseRatio
+	if want < 2 {
+		want = 2
+	}
+
+	dims := [4]int{96, 96, 8, 8}
+	v := synthetic.Generate(synthetic.Config{Dims: dims, Seed: 11})
+	dir := t.TempDir()
+	if _, err := dataset.Write(dir, v, 3); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.FileServer(http.Dir(dir)))
+	defer srv.Close()
+
+	open := func(cacheBlocks int) *dataset.Store {
+		t.Helper()
+		st, err := dataset.OpenURL(context.Background(), srv.URL, &dataset.URLOptions{CacheBlocks: cacheBlocks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	var uncached, warm time.Duration
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		st := open(0)
+		d, _ := backendSweep(t, st)
+		st.Close()
+		if i == 0 || d < uncached {
+			uncached = d
+		}
+	}
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		st := open(256)
+		backendSweep(t, st) // cold fill
+		d, _ := backendSweep(t, st)
+		if s := st.Stats(); s.CacheHits == 0 {
+			t.Fatalf("warm sweep recorded no cache hits (misses=%d)", s.CacheMisses)
+		}
+		st.Close()
+		if i == 0 || d < warm {
+			warm = d
+		}
+	}
+	ratio := float64(uncached) / float64(warm)
+	t.Logf("http uncached %v, warm %v: %.2fx (baseline %.2fx, gate >= %.2fx)",
+		uncached, warm, ratio, baseRatio, want)
+	if ratio < want {
+		t.Errorf("http warm-cache speedup regressed: %.2fx < %.2fx (25%% of baseline %.2fx, floored at 2x)",
+			ratio, want, baseRatio)
 	}
 }

@@ -48,7 +48,7 @@ func parseKernel(s string) (core.KernelMode, error) {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure id: 7a, 7b, 8, 9, 10, 11, density, zeroskip, iic, dirs, chunk, decluster, kernel (default: all)")
+		fig      = flag.String("fig", "", "figure id: 7a, 7b, 8, 9, 10, 11, density, zeroskip, iic, dirs, chunk, decluster, kernel, autotune (default: all)")
 		scaleS   = flag.String("scale", "small", "experiment scale: tiny, small, paper")
 		dataDir  = flag.String("data", "", "reuse/create the phantom dataset in this directory (default: temp)")
 		csvDir   = flag.String("csv", "", "also write each figure's series as CSV into this directory")
@@ -59,6 +59,7 @@ func main() {
 		rdAhead  = flag.Int("readahead", 4, "I/O windows the reader filters fetch ahead of the pipeline (0 = synchronous reads; outputs are identical either way)")
 		cacheBl  = flag.Int("cache-blocks", 0, "block-cache budget between the dataset backend and the readers, in blocks (0 = no cache)")
 		cacheBS  = flag.Int("cache-block-size", 0, "block-cache granularity in bytes (default 128KiB; requires -cache-blocks)")
+		memoP    = flag.String("memo", "", "autotune sweep memo file recording measured cells across invocations (default: autotune-memo.json next to the dataset; \"off\" disables)")
 		// Only the watchdog half of the restart surface is exposed here:
 		// resuming a half-finished figure sweep from a checkpoint would
 		// splice timings from two separate processes into one curve, so the
@@ -138,6 +139,14 @@ func main() {
 	env.Kernel = kernel
 	env.ReadAhead = *rdAhead
 	env.StallTimeout = stallTimeout
+	switch *memoP {
+	case "":
+		// keep Setup's default next to the dataset
+	case "off":
+		env.MemoPath = ""
+	default:
+		env.MemoPath = *memoP
+	}
 
 	ids := experiments.AllIDs()
 	if *fig != "" {

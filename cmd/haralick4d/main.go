@@ -23,7 +23,9 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
+	"haralick4d/internal/autotune"
 	"haralick4d/internal/checkpoint"
 	"haralick4d/internal/cliflags"
 	"haralick4d/internal/core"
@@ -53,6 +55,36 @@ func (s *dicomStudy) build(cfg *pipeline.Config, layout *pipeline.Layout) (*filt
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "haralick4d: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// parseAutoTuneFlags checks the -autotune flag family and resolves the
+// sampling interval. The simulated engine replays a virtual clock and never
+// runs the live monitor, so tuning there would silently do nothing.
+func parseAutoTuneFlags(on bool, intervalS string, seed int64, engine pipeline.Engine) (time.Duration, error) {
+	var interval time.Duration
+	if intervalS != "" {
+		d, err := time.ParseDuration(intervalS)
+		if err != nil {
+			return 0, fmt.Errorf("invalid -autotune-interval %q: %v", intervalS, err)
+		}
+		if d <= 0 {
+			return 0, fmt.Errorf("-autotune-interval must be positive, got %v", d)
+		}
+		interval = d
+	}
+	if !on {
+		if intervalS != "" {
+			return 0, fmt.Errorf("-autotune-interval requires -autotune")
+		}
+		if seed != 0 {
+			return 0, fmt.Errorf("-autotune-seed requires -autotune")
+		}
+		return 0, nil
+	}
+	if engine == pipeline.EngineSim {
+		return 0, fmt.Errorf("-autotune needs a live engine (local or tcp), not sim")
+	}
+	return interval, nil
 }
 
 // validateCountFlags rejects the negative values the flag package happily
@@ -104,6 +136,9 @@ func main() {
 		ckptIntS = flag.String("checkpoint-interval", "", "journal fsync cadence, e.g. 500ms (default 1s; requires -checkpoint)")
 		resumeF  = flag.Bool("resume", false, "resume from the -checkpoint journal of an interrupted run of the same configuration")
 		stallS   = flag.String("stall-timeout", "", "fail the run if no filter makes progress for this long, e.g. 2m (default: wait forever)")
+		tuneF    = flag.Bool("autotune", false, "tune read-ahead depth and texture admission live from run metrics (engines local/tcp)")
+		tuneIntS = flag.String("autotune-interval", "", "autotune sampling cadence, e.g. 250ms (default 100ms; requires -autotune)")
+		tuneSeed = flag.Int64("autotune-seed", 0, "autotune tie-break seed, 0 = default (requires -autotune)")
 		crashN   = flag.Int("crash-after", 0, "TESTING: crash texture copy 0 after receiving this many buffers (0 = never)")
 		stats    = flag.Bool("stats", false, "print per-filter runtime statistics")
 		metricsF = flag.Bool("metrics", false, "print the structured run report (per-filter spans, streams, critical path)")
@@ -164,6 +199,12 @@ func main() {
 		os.Exit(2)
 	}
 	uopts, err := cliflags.ParseBackendFlags(*dataURL, *cacheBl, *cacheBS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	tuneInterval, err := parseAutoTuneFlags(*tuneF, *tuneIntS, *tuneSeed, engine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
 		flag.Usage()
@@ -281,6 +322,18 @@ func main() {
 	}
 	cfg.ReadAhead = *rdAhead
 	cfg.FaultPolicy = faultPolicy
+	var ctrl *autotune.Controller
+	if *tuneF {
+		acfg := autotune.Config{Seed: *tuneSeed, Interval: tuneInterval}
+		if st := study.raw; st != nil {
+			acfg.CacheStats = func() (hits, misses int64) {
+				s := st.Stats()
+				return s.CacheHits, s.CacheMisses
+			}
+		}
+		ctrl = autotune.New(acfg)
+	}
+	cfg.AutoTune = ctrl
 	if cfg.Output != pipeline.OutputCollect {
 		if cfg.OutDir == "" {
 			fail("an output directory is required (use -out)")
@@ -334,6 +387,7 @@ func main() {
 		Retry:        retry,
 		Failover:     faultPolicy == fault.SkipDegraded,
 		StallTimeout: stallTimeout,
+		AutoTune:     ctrl,
 	})
 	if journal != nil {
 		// Close regardless of the run's outcome: the journal is the artifact
@@ -346,6 +400,7 @@ func main() {
 		fail("%v", err)
 	}
 	fmt.Printf("done in %v; output dims %v\n", rs.Elapsed, outDims)
+	ctrl.Attach(rs.Report)
 	pipeline.AttachBackendStats(rs.Report, study.raw)
 	if *stats {
 		fmt.Print(rs.String())

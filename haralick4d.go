@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"haralick4d/internal/autotune"
 	"haralick4d/internal/checkpoint"
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
@@ -209,6 +210,21 @@ type Options struct {
 	// CacheBlockSize is the cache's block granularity in bytes; 0 selects
 	// the 128 KiB default. Requires CacheBlocks > 0.
 	CacheBlockSize int
+	// AutoTune runs the online feedback controller during the pipeline run:
+	// reader prefetch depth and texture compute admission are resized live
+	// from periodic progress snapshots (hill climbing with hysteresis), and
+	// the decisions appear in Result.Report.Tuning. Tuning changes
+	// scheduling only — outputs are bit-identical to an untuned run.
+	// Requires metrics; ignored by the sequential reference path
+	// (Parallelism 1 in Analyze), which has nothing to actuate.
+	AutoTune bool
+	// AutoTuneInterval is the controller's sampling period; 0 selects the
+	// 100 ms default. Requires AutoTune.
+	AutoTuneInterval time.Duration
+	// AutoTuneSeed fixes the controller's tie-break RNG so a given metric
+	// trace reproduces the same decisions; 0 selects seed 1. Requires
+	// AutoTune.
+	AutoTuneSeed int64
 }
 
 // Validate checks the options and reports the first problem — the same
@@ -223,7 +239,47 @@ func (o *Options) Validate() error {
 	if err := o.validateRestart(); err != nil {
 		return err
 	}
-	return o.validateBackend()
+	if err := o.validateBackend(); err != nil {
+		return err
+	}
+	return o.validateAutoTune()
+}
+
+// validateAutoTune checks the online-tuning option subset.
+func (o *Options) validateAutoTune() error {
+	if o == nil {
+		return nil
+	}
+	if o.AutoTuneInterval < 0 {
+		return fmt.Errorf("haralick4d: AutoTuneInterval must not be negative")
+	}
+	if !o.AutoTune {
+		if o.AutoTuneInterval > 0 {
+			return fmt.Errorf("haralick4d: AutoTuneInterval set without AutoTune")
+		}
+		if o.AutoTuneSeed != 0 {
+			return fmt.Errorf("haralick4d: AutoTuneSeed set without AutoTune")
+		}
+		return nil
+	}
+	if o.DisableMetrics {
+		return fmt.Errorf("haralick4d: AutoTune needs the metrics the controller feeds on (unset DisableMetrics)")
+	}
+	return nil
+}
+
+// controller builds the run's autotune controller, or nil when tuning is
+// off. cacheStats, when non-nil, feeds the block-cache hit/miss counters
+// into each snapshot the controller sees.
+func (o *Options) controller(cacheStats func() (hits, misses int64)) *autotune.Controller {
+	if o == nil || !o.AutoTune {
+		return nil
+	}
+	return autotune.New(autotune.Config{
+		Seed:       o.AutoTuneSeed,
+		Interval:   o.AutoTuneInterval,
+		CacheStats: cacheStats,
+	})
 }
 
 // validateBackend checks the dataset-backend option subset.
@@ -397,6 +453,9 @@ func AnalyzeContext(ctx context.Context, v *Volume, opts *Options) (*Result, err
 	if err := opts.validateRestart(); err != nil {
 		return nil, err
 	}
+	if err := opts.validateAutoTune(); err != nil {
+		return nil, err
+	}
 	if opts != nil && opts.Checkpoint != "" {
 		// The in-memory path holds no disk-resident inputs to re-read on a
 		// later life, so a journal could never be honoured.
@@ -450,18 +509,20 @@ func analyzeGrid(ctx context.Context, grid *volume.Grid, cfg core.Config, opts *
 		}
 		return res, nil
 	}
+	ctrl := opts.controller(nil)
 	pcfg := &pipeline.Config{
 		Analysis: cfg,
 		Impl:     pipeline.HMPImpl,
 		Policy:   filter.DemandDriven,
 		Output:   pipeline.OutputCollect,
+		AutoTune: ctrl,
 	}
 	layout := &pipeline.Layout{HMPNodes: make([]int, opts.workers())}
 	g, sink, _, err := pipeline.BuildMem(grid, pcfg, layout)
 	if err != nil {
 		return nil, err
 	}
-	ropts := &pipeline.RunOptions{DisableMetrics: !metricsOn}
+	ropts := &pipeline.RunOptions{DisableMetrics: !metricsOn, AutoTune: ctrl}
 	if opts != nil {
 		ropts.StallTimeout = opts.StallTimeout
 	}
@@ -476,6 +537,7 @@ func analyzeGrid(ctx context.Context, grid *volume.Grid, cfg core.Config, opts *
 		res.Grids[f] = sink.Grid(f)
 	}
 	res.Report = rs.Report
+	ctrl.Attach(res.Report)
 	return res, nil
 }
 
@@ -514,6 +576,9 @@ func AnalyzeDatasetContext(ctx context.Context, url string, opts *Options) (*Res
 	if err := opts.validateBackend(); err != nil {
 		return nil, err
 	}
+	if err := opts.validateAutoTune(); err != nil {
+		return nil, err
+	}
 	uopts := &dataset.URLOptions{}
 	if opts != nil {
 		uopts.CacheBlocks = opts.CacheBlocks
@@ -524,11 +589,16 @@ func AnalyzeDatasetContext(ctx context.Context, url string, opts *Options) (*Res
 		return nil, err
 	}
 	defer st.Close()
+	ctrl := opts.controller(func() (hits, misses int64) {
+		s := st.Stats()
+		return s.CacheHits, s.CacheMisses
+	})
 	pcfg := &pipeline.Config{
 		Analysis: cfg,
 		Impl:     pipeline.HMPImpl,
 		Policy:   filter.DemandDriven,
 		Output:   pipeline.OutputCollect,
+		AutoTune: ctrl,
 	}
 	if opts != nil {
 		pcfg.ReadAhead = opts.ReadAhead
@@ -550,7 +620,7 @@ func AnalyzeDatasetContext(ctx context.Context, url string, opts *Options) (*Res
 		}
 		return nil, err
 	}
-	ropts := &pipeline.RunOptions{DisableMetrics: opts != nil && opts.DisableMetrics}
+	ropts := &pipeline.RunOptions{DisableMetrics: opts != nil && opts.DisableMetrics, AutoTune: ctrl}
 	if opts != nil {
 		// SkipDegraded asks for a run that survives faults, so crashed
 		// copies fail over to survivors instead of aborting.
@@ -578,6 +648,7 @@ func AnalyzeDatasetContext(ctx context.Context, url string, opts *Options) (*Res
 		return nil, err
 	}
 	res := &Result{Grids: map[Feature]*FloatGrid{}, OutputDims: outDims, Report: rs.Report}
+	ctrl.Attach(res.Report)
 	pipeline.AttachBackendStats(res.Report, st)
 	if opts != nil && opts.Resume {
 		res.Restart = restart

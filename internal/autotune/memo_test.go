@@ -1,0 +1,66 @@
+package autotune
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMemoRoundTrip checks cells survive a close/reopen cycle and that keys
+// separate fingerprints from cells.
+func TestMemoRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "memo.json")
+	m, err := OpenMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("fresh memo has %d cells", m.Len())
+	}
+	fp := FingerprintBytes([]byte("config-a"))
+	cell := Cell{ElapsedNS: 1234, Metrics: map[string]float64{"rate": 7.5}}
+	if err := m.Put(Key(fp, "copies=2,kblock=16"), cell); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(Key(fp, "copies=4,kblock=0"), Cell{ElapsedNS: 99}); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenMemo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reopened memo has %d cells, want 2", re.Len())
+	}
+	got, ok := re.Get(Key(fp, "copies=2,kblock=16"))
+	if !ok || got.ElapsedNS != 1234 || got.Metrics["rate"] != 7.5 {
+		t.Fatalf("round-trip cell = %+v ok=%v", got, ok)
+	}
+	if _, ok := re.Get(Key(FingerprintBytes([]byte("config-b")), "copies=2,kblock=16")); ok {
+		t.Fatal("different fingerprint must not hit the same cell")
+	}
+}
+
+// TestMemoCorruptIsError checks a damaged memo file fails loudly instead of
+// silently recomputing every cell.
+func TestMemoCorruptIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMemo(path); err == nil {
+		t.Fatal("OpenMemo accepted a corrupt file")
+	}
+}
+
+// TestFingerprintBytesStable pins the digest so memo files stay valid across
+// releases.
+func TestFingerprintBytesStable(t *testing.T) {
+	if got := FingerprintBytes([]byte("abc")); got != "e71fa2190541574b" {
+		t.Fatalf("FingerprintBytes(abc) = %s (fnv-64a changed?)", got)
+	}
+	if len(FingerprintBytes(nil)) != 16 {
+		t.Fatal("fingerprint must be 16 hex digits")
+	}
+}

@@ -1,0 +1,129 @@
+package autotune
+
+import "sync"
+
+// Tokens is a resizable admission semaphore: the texture filters take one
+// token before computing a chunk and return it after emitting, so the
+// token limit is the effective compute concurrency across that filter's
+// copies — a knob the controller can turn down to shed concurrency when
+// copies thrash, and back up when the pipeline is compute-starved.
+//
+// All methods are nil-receiver safe: a nil *Tokens admits everything, so
+// filters can thread the pointer unconditionally and pay nothing when
+// autotuning is off.
+type Tokens struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	limit  int
+	lo, hi int
+	out    int
+}
+
+// NewTokens returns a semaphore with the given starting limit, clamped
+// into [lo, hi]. Bounds are normalized so that 1 <= lo <= hi: a zero-token
+// limit would wedge every holder's filter forever.
+func NewTokens(limit, lo, hi int) *Tokens {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	t := &Tokens{lo: lo, hi: hi}
+	t.cond = sync.NewCond(&t.mu)
+	t.limit = t.clamp(limit)
+	return t
+}
+
+func (t *Tokens) clamp(n int) int {
+	if n < t.lo {
+		return t.lo
+	}
+	if n > t.hi {
+		return t.hi
+	}
+	return n
+}
+
+// Limit returns the current token limit (∞ for a nil receiver, reported
+// as 0).
+func (t *Tokens) Limit() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.limit
+}
+
+// Bounds returns the [lo, hi] resize range.
+func (t *Tokens) Bounds() (lo, hi int) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.lo, t.hi
+}
+
+// Resize sets the limit, clamped into the bounds, and returns the applied
+// value. Raising it wakes blocked acquirers; lowering it takes effect as
+// held tokens are released.
+func (t *Tokens) Resize(n int) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.limit = t.clamp(n)
+	t.cond.Broadcast()
+	return t.limit
+}
+
+// Acquire takes one token, blocking while the semaphore is at its limit.
+// It returns false without taking a token once stop is closed; a nil
+// receiver always admits.
+func (t *Tokens) Acquire(stop <-chan struct{}) bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.out < t.limit {
+		t.out++
+		return true
+	}
+	// Arm a watcher so a close of stop breaks the cond wait. The watcher's
+	// Broadcast needs the mutex, which only cond.Wait releases, so the
+	// wake-up cannot be lost.
+	unarmed := make(chan struct{})
+	defer close(unarmed)
+	go func() {
+		select {
+		case <-stop:
+			t.mu.Lock()
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		case <-unarmed:
+		}
+	}()
+	for t.out >= t.limit {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		t.cond.Wait()
+	}
+	t.out++
+	return true
+}
+
+// Release returns one token. Safe on a nil receiver.
+func (t *Tokens) Release() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.out--
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
@@ -104,6 +105,17 @@ func (h *Header) encode() []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(f))
 	}
 	return buf
+}
+
+// Fingerprint returns a short stable hex digest of the header — the same
+// byte encoding resume compares, folded through FNV-64a. The autotune memo
+// uses it as the config half of its (fingerprint, cell) keys, so memoized
+// sweep results are invalidated by exactly the changes that would
+// invalidate a checkpoint journal.
+func (h *Header) Fingerprint() string {
+	sum := fnv.New64a()
+	sum.Write(h.encode())
+	return fmt.Sprintf("%016x", sum.Sum64())
 }
 
 // Portion is one journaled output portion: the values of one feature over

@@ -455,6 +455,7 @@ func AllIDs() []string {
 	return []string{
 		"7a", "7b", "8", "9", "10", "11",
 		"density", "zeroskip", "iic", "dirs", "chunk", "decluster", "kernel",
+		"autotune",
 	}
 }
 
@@ -477,7 +478,7 @@ func ByID(e *Env, id string) (*Figure, error) {
 		"7a": Fig7a, "7b": Fig7b, "8": Fig8, "9": Fig9, "10": Fig10, "11": Fig11,
 		"density": Density, "zeroskip": ZeroSkip, "iic": IICScaling,
 		"dirs": Directions, "chunk": ChunkShape, "decluster": Declustering,
-		"kernel": Kernel,
+		"kernel": Kernel, "autotune": AutoTuneSweep,
 	}
 	f, ok := m[id]
 	if !ok {

@@ -14,8 +14,10 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"haralick4d/internal/autotune"
 	"haralick4d/internal/core"
 	"haralick4d/internal/dataset"
 	"haralick4d/internal/glcm"
@@ -128,6 +130,11 @@ type Env struct {
 	// worker count exceeds one; core.KernelLegacy restores the sliding
 	// per-direction kernels. The `kernel` figure sweeps both.
 	Kernel core.KernelMode
+	// MemoPath is the cross-run result journal of the autotune sweep
+	// (internal/autotune.Memo): repeated invocations reuse measured cells
+	// instead of recomputing them. Setup defaults it to a file next to the
+	// dataset; empty disables memoization.
+	MemoPath string
 	// StallTimeout arms the filter runtime's no-progress watchdog on the
 	// figures' engine runs, so an unattended sweep fails with a diagnostic
 	// instead of hanging. The simulated cluster runs in virtual time and
@@ -141,19 +148,56 @@ type Env struct {
 
 // Setup generates the phantom study for the scale and writes it, declustered
 // across the scale's storage nodes, under dir (created if needed).
+//
+// Generation is memoized: a marker journal next to the dataset records the
+// fingerprint of the generation inputs (dims, seed, storage nodes), and a
+// repeated Setup with the same inputs reopens the dataset already on disk
+// instead of regenerating and rewriting it — at the paper scale the write
+// alone dominates a sweep's startup. A fingerprint mismatch (the directory
+// holds a different scale's dataset) regenerates and replaces the marker.
 func Setup(scale Scale, dir string) (*Env, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	v := synthetic.Generate(synthetic.Config{Dims: scale.Dims, Seed: scale.Seed})
-	if _, err := dataset.Write(dir, v, scale.StorageNodes); err != nil {
+	genPath := filepath.Join(dir, "gen.memo.json")
+	genKey := autotune.Key(autotune.FingerprintBytes([]byte(fmt.Sprintf(
+		"gendata dims=%v seed=%d nodes=%d", scale.Dims, scale.Seed, scale.StorageNodes))), "gendata")
+	genMemo, err := autotune.OpenMemo(genPath)
+	if err != nil {
 		return nil, err
+	}
+	if _, ok := genMemo.Get(genKey); !ok {
+		// The directory holds exactly one dataset, so a stale marker for a
+		// different configuration must not survive the rewrite.
+		if err := os.Remove(genPath); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		genMemo, err = autotune.OpenMemo(genPath)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		v := synthetic.Generate(synthetic.Config{Dims: scale.Dims, Seed: scale.Seed})
+		if _, err := dataset.Write(dir, v, scale.StorageNodes); err != nil {
+			return nil, err
+		}
+		if err := genMemo.Put(genKey, autotune.Cell{ElapsedNS: time.Since(start).Nanoseconds()}); err != nil {
+			return nil, err
+		}
 	}
 	st, err := dataset.Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Scale: scale, Store: st, ComputeScale: DefaultComputeScale, QueueDepth: 16, Repeats: 3, KernelWorkers: 1}, nil
+	return &Env{
+		Scale:         scale,
+		Store:         st,
+		ComputeScale:  DefaultComputeScale,
+		QueueDepth:    16,
+		Repeats:       3,
+		KernelWorkers: 1,
+		MemoPath:      filepath.Join(dir, "autotune-memo.json"),
+	}, nil
 }
 
 // analysis returns the core analysis config for a representation. The

@@ -55,6 +55,19 @@ type Options struct {
 	// buffer can legitimately spend inside one filter call. 0 (the default)
 	// disables the watchdog.
 	StallTimeout time.Duration
+	// Monitor, when set, runs on its own goroutine for the duration of the
+	// run with a Probe over the live runtime. stop is closed when the run
+	// finishes (or aborts); the engine waits for Monitor to return before
+	// building the final report. The autotune controller attaches here.
+	// Requires metrics (ignored when DisableMetrics is set).
+	Monitor func(stop <-chan struct{}, p Probe)
+}
+
+// Probe is the live view a Monitor gets of a running engine. Snapshot is
+// safe to call at any time from the monitor goroutine: every field it reads
+// is maintained atomically by the copies' hot paths.
+type Probe interface {
+	Snapshot() *metrics.Snapshot
 }
 
 func (o *Options) depth() int {
@@ -126,6 +139,14 @@ type copyState struct {
 	// by the consumer goroutine and read by producers.
 	svcCompute atomic.Int64 // total compute ns
 	svcMsgs    atomic.Int64 // messages consumed
+
+	// Atomic mirrors of the single-goroutine stats fields, maintained so a
+	// Monitor can snapshot blocked/stalled/output mid-run without racing
+	// the copy's own goroutine (svcCompute and svcMsgs already mirror
+	// Compute and MsgsIn).
+	aBlockRecv atomic.Int64
+	aBlockSend atomic.Int64
+	aMsgsOut   atomic.Int64
 }
 
 // connState is the runtime state of one connection.
@@ -167,6 +188,11 @@ type runtime struct {
 	// auxWG tracks dead-copy inbox drainers, waited after the copies finish.
 	auxWG sync.WaitGroup
 
+	// Monitor plumbing: start anchors Snapshot's wall clock; monitor is the
+	// Options hook (nil when unset or metrics are off).
+	start   time.Time
+	monitor func(stop <-chan struct{}, p Probe)
+
 	done     chan struct{}
 	stopOnce sync.Once
 	errMu    sync.Mutex
@@ -188,6 +214,9 @@ func newRuntime(g *Graph, opts *Options, trans transport) (*runtime, error) {
 	if opts != nil && opts.StallTimeout > 0 {
 		rt.stall = opts.StallTimeout
 		rt.stalled = make(chan struct{})
+	}
+	if opts != nil && opts.Monitor != nil && rt.metricsOn {
+		rt.monitor = opts.Monitor
 	}
 	depth := opts.depth()
 	for _, fs := range g.Filters {
@@ -257,10 +286,32 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 		}()
 	}
 	start := time.Now()
+	rt.start = start
 	if rt.stall > 0 {
 		finished := make(chan struct{})
 		defer close(finished)
 		go rt.watchdog(rt.stall, finished)
+	}
+	// Launch the monitor (autotune controller) before the copies so it
+	// observes the run from the first tick. stopMonitor is idempotent and
+	// waits for the monitor goroutine, so the final report sees the
+	// controller's complete decision log.
+	stopMonitor := func() {}
+	if rt.monitor != nil {
+		monStop := make(chan struct{})
+		monDone := make(chan struct{})
+		go func() {
+			defer close(monDone)
+			rt.monitor(monStop, rt)
+		}()
+		var once sync.Once
+		stopMonitor = func() {
+			once.Do(func() {
+				close(monStop)
+				<-monDone
+			})
+		}
+		defer stopMonitor()
 	}
 	var wg sync.WaitGroup
 	for _, fs := range rt.graph.Filters {
@@ -360,6 +411,7 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 			rt.firstErr = cerr
 		}
 	}
+	stopMonitor()
 	stats := &RunStats{Elapsed: time.Since(start), Copies: map[string][]CopyStats{}}
 	for name, states := range rt.copies {
 		out := make([]CopyStats, len(states))
@@ -375,6 +427,38 @@ func (rt *runtime) run(ctx context.Context) (*RunStats, error) {
 		return stats, rt.firstErr
 	}
 	return stats, nil
+}
+
+// Snapshot implements Probe: a mid-run view assembled entirely from the
+// atomics the copies maintain on their hot paths (service counters, the
+// blocked/stalled mirrors, span timers). Filters appear in the graph's spec
+// order and copies in index order, so per-copy identity is stable across
+// snapshots and deltas can be taken position-wise.
+func (rt *runtime) Snapshot() *metrics.Snapshot {
+	s := &metrics.Snapshot{WallNS: int64(time.Since(rt.start))}
+	for _, fs := range rt.graph.Filters {
+		fsnap := metrics.FilterSnap{Name: fs.Name}
+		for _, st := range rt.copies[fs.Name] {
+			fsnap.Copies = append(fsnap.Copies, metrics.CopySnap{
+				Copy:          st.copyIdx,
+				Node:          st.node,
+				BusyNS:        st.svcCompute.Load(),
+				BlockedRecvNS: st.aBlockRecv.Load(),
+				StalledSendNS: st.aBlockSend.Load(),
+				MsgsIn:        st.svcMsgs.Load(),
+				MsgsOut:       st.aMsgsOut.Load(),
+				QueueLen:      st.pending.Load(),
+			})
+			for name, stat := range st.met.Spans() {
+				if fsnap.Spans == nil {
+					fsnap.Spans = map[string]int64{}
+				}
+				fsnap.Spans[name] += stat.TotalNS
+			}
+		}
+		s.Filters = append(s.Filters, fsnap)
+	}
+	return s
 }
 
 // netReporter is implemented by transports that track per-connection network
@@ -611,6 +695,7 @@ func (c *localCtx) Recv() (Msg, bool) {
 	defer func() {
 		now := time.Now()
 		c.st.stats.BlockRecv += now.Sub(blockStart)
+		c.st.aBlockRecv.Add(int64(now.Sub(blockStart)))
 		c.lastMark = now
 		c.st.phase.Store(phaseRun)
 	}()
@@ -760,12 +845,14 @@ func (c *localCtx) send(cs *connState, target *copyState, port string, p Payload
 	err := c.rt.deliver(c.st, target, inMsg{port: cs.spec.ToPort, payload: p})
 	now := time.Now()
 	c.st.stats.BlockSend += now.Sub(blockStart)
+	c.st.aBlockSend.Add(int64(now.Sub(blockStart)))
 	c.lastMark = now
 	c.st.phase.Store(phaseRun)
 	if err != nil {
 		return err
 	}
 	c.st.stats.MsgsOut++
+	c.st.aMsgsOut.Add(1)
 	c.st.beats.Add(1)
 	c.st.stats.BytesOut += size
 	// The deliver block time is the producer's wait for queue credit on this

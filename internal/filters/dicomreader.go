@@ -25,6 +25,9 @@ type DFRConfig struct {
 	// of the emit loop; 0 reads synchronously, reproducing the un-staged
 	// reader exactly.
 	ReadAhead int
+	// ReadAheadGate, when set, overrides ReadAhead with a live-resizable
+	// prefetch budget shared by every DFR copy (autotune actuation point).
+	ReadAheadGate *readahead.Gate
 	// FaultPolicy selects what a failed slice decode does: fault.FailFast
 	// (zero value) aborts the run; fault.SkipDegraded replaces the lost
 	// slice with DegradedPieceMsg notices. The DICOM store carries no
@@ -87,11 +90,17 @@ func NewDFR(cfg DFRConfig) func(int) filter.Filter {
 				}
 				return window, nil
 			}
-			ra := readahead.New(fetch, len(slices), cfg.ReadAhead)
+			var ra *readahead.Reader[*volume.Region]
+			if cfg.ReadAheadGate != nil {
+				ra = readahead.NewGated(fetch, len(slices), cfg.ReadAheadGate)
+			} else {
+				ra = readahead.New(fetch, len(slices), cfg.ReadAhead)
+			}
 			defer ra.Close()
+			async := cfg.ReadAheadGate != nil || cfg.ReadAhead > 0
 			for i := range slices {
 				var wait metrics.Span
-				if cfg.ReadAhead > 0 {
+				if async {
 					wait = met.StartReadWait()
 				}
 				window, err, ok := ra.Next()

@@ -47,6 +47,11 @@ type RFRConfig struct {
 	// (positioned reads + requantization) ahead of the emit loop. 0 reads
 	// synchronously, reproducing the un-staged reader exactly.
 	ReadAhead int
+	// ReadAheadGate, when set, overrides ReadAhead with a live-resizable
+	// prefetch budget shared by every RFR copy — the autotune controller's
+	// actuation point. The gate only changes how far reads run ahead;
+	// emission order and content are untouched.
+	ReadAheadGate *readahead.Gate
 	// FaultPolicy selects what a failed slice read does: fault.FailFast
 	// (zero value) aborts the run with the read error; fault.SkipDegraded
 	// replaces the lost window with DegradedPieceMsg notices so the rest of
@@ -159,11 +164,17 @@ func NewRFR(cfg RFRConfig) func(int) filter.Filter {
 				}
 				return window, nil
 			}
-			ra := readahead.New(fetch, len(windows), cfg.ReadAhead)
+			var ra *readahead.Reader[*volume.Region]
+			if cfg.ReadAheadGate != nil {
+				ra = readahead.NewGated(fetch, len(windows), cfg.ReadAheadGate)
+			} else {
+				ra = readahead.New(fetch, len(windows), cfg.ReadAhead)
+			}
 			defer ra.Close()
+			async := cfg.ReadAheadGate != nil || cfg.ReadAhead > 0
 			for i := range windows {
 				var wait metrics.Span
-				if cfg.ReadAhead > 0 {
+				if async {
 					wait = met.StartReadWait()
 				}
 				window, err, ok := ra.Next()

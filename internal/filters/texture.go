@@ -3,6 +3,7 @@ package filters
 import (
 	"fmt"
 
+	"haralick4d/internal/autotune"
 	"haralick4d/internal/core"
 	"haralick4d/internal/features"
 	"haralick4d/internal/filter"
@@ -25,6 +26,12 @@ type TextureConfig struct {
 	// per chunk. Zero selects the default (4); negative values are rejected
 	// by Validate. Ignored by HMP/HPC.
 	PacketsPerChunk int
+	// Admission, when set, gates each chunk's compute behind a token from
+	// this live-resizable semaphore shared across the filter's copies —
+	// the autotune controller's concurrency-shedding knob. Admission only
+	// reorders when copies compute, never what they compute, so outputs
+	// are unchanged. Nil admits everything at no cost.
+	Admission *autotune.Tokens
 }
 
 // Validate checks the filter-level knobs. The embedded Analysis config is
@@ -88,6 +95,7 @@ func NewHMP(cfg TextureConfig) func(int) filter.Filter {
 			for i := range outs {
 				outs[i] = &volume.FloatRegion{}
 			}
+			stop := runContext(ctx).Done()
 			for {
 				m, ok := ctx.Recv()
 				if !ok {
@@ -109,9 +117,13 @@ func NewHMP(cfg TextureConfig) func(int) filter.Filter {
 					outs[i].Box = chunk.Origins
 					outs[i].Data = getFloats(n, met)
 				}
+				if !cfg.Admission.Acquire(stop) {
+					return nil // the run is aborting
+				}
 				sp := met.StartCompute()
 				err := core.AnalyzeRegionInto(chunk.Region, chunk.Origins, &acfg, nil, outs)
 				sp.End()
+				cfg.Admission.Release()
 				if err != nil {
 					return err
 				}
@@ -146,6 +158,7 @@ func NewHCC(cfg TextureConfig) func(int) filter.Filter {
 				return err
 			}
 			sparse := acfg.Representation == core.SparseMatrix
+			stop := runContext(ctx).Done()
 			for {
 				m, ok := ctx.Recv()
 				if !ok {
@@ -166,6 +179,9 @@ func NewHCC(cfg TextureConfig) func(int) filter.Filter {
 				met := ctx.Metrics()
 				for _, sub := range SplitBox(chunk.Origins, cfg.packets()) {
 					scratch := getBatchScratch(met)
+					if !cfg.Admission.Acquire(stop) {
+						return nil // the run is aborting
+					}
 					sp := met.StartCompute()
 					var err error
 					if sparse {
@@ -174,6 +190,7 @@ func NewHCC(cfg TextureConfig) func(int) filter.Filter {
 						err = core.FullBatchInto(chunk.Region, sub, &acfg, nil, scratch)
 					}
 					sp.End()
+					cfg.Admission.Release()
 					if err != nil {
 						return err
 					}
@@ -211,6 +228,7 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 			for i := range outs {
 				outs[i] = &volume.FloatRegion{}
 			}
+			stop := runContext(ctx).Done()
 			for {
 				m, ok := ctx.Recv()
 				if !ok {
@@ -236,6 +254,9 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 					outs[i].Box = batch.Origins
 					outs[i].Data = getFloats(n, met)
 				}
+				if !cfg.Admission.Acquire(stop) {
+					return nil // the run is aborting
+				}
 				sp := met.StartCompute()
 				for k := 0; k < n; k++ {
 					var vals []float64
@@ -246,6 +267,7 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 						vals, err = calc.FromFull(batch.Full[k], !batch.NoSkip)
 					}
 					if err != nil {
+						cfg.Admission.Release()
 						return err
 					}
 					for i, v := range vals {
@@ -253,6 +275,7 @@ func NewHPC(cfg TextureConfig) func(int) filter.Filter {
 					}
 				}
 				sp.End()
+				cfg.Admission.Release()
 				emit := met.StartEmit()
 				for i, fr := range outs {
 					out := newParamMsg(acfg.Features[i], fr.Box, fr.Data)

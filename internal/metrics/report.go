@@ -162,7 +162,10 @@ type RunReport struct {
 	Streams   []StreamReport  `json:"streams,omitempty"`
 	Network   []ConnReport    `json:"network,omitempty"`
 	Backends  []BackendReport `json:"backends,omitempty"`
-	Summary   Summary         `json:"summary"`
+	// Tuning describes the autotune controller's decisions when live
+	// tuning was enabled for the run; nil otherwise.
+	Tuning  *TuningReport `json:"tuning,omitempty"`
+	Summary Summary       `json:"summary"`
 }
 
 // Elapsed returns the run's end-to-end time.
@@ -330,6 +333,9 @@ func (r *RunReport) String() string {
 				be.CacheHits, be.CacheMisses, be.CacheEvictions, be.CacheFetchBytes)
 			fmt.Fprintf(&b, "    url %s\n", be.URL)
 		}
+	}
+	if r.Tuning != nil {
+		r.Tuning.render(&b)
 	}
 	if len(r.Summary.Entries) > 0 {
 		fmt.Fprintf(&b, "critical path (per-copy mean shares of elapsed):\n")

@@ -11,6 +11,7 @@ import (
 	"net"
 	"time"
 
+	"haralick4d/internal/autotune"
 	"haralick4d/internal/checkpoint"
 	"haralick4d/internal/cluster"
 	"haralick4d/internal/core"
@@ -21,6 +22,7 @@ import (
 	"haralick4d/internal/filter"
 	"haralick4d/internal/filters"
 	"haralick4d/internal/metrics"
+	"haralick4d/internal/readahead"
 	"haralick4d/internal/volume"
 )
 
@@ -108,6 +110,14 @@ type Config struct {
 	// chunks it proves complete are skipped from the readers onward, and the
 	// sink is pre-seeded with the recovered portions.
 	Recovered *checkpoint.State
+	// AutoTune, when set, registers the graph's live knobs with this
+	// controller as the graph is built: the readers share a resizable
+	// prefetch gate (seeded from ReadAhead) and multi-copy texture filters
+	// share a resizable admission semaphore. Pass the same controller in
+	// RunOptions.AutoTune so the engines drive its feedback loop; tuning
+	// changes scheduling only, so outputs match the untuned run
+	// bit-for-bit.
+	AutoTune *autotune.Controller
 }
 
 // Validate normalizes the config and reports the first problem.
@@ -157,6 +167,36 @@ func (c *Config) resumeSkip(chunker *volume.Chunker) (map[int]bool, error) {
 		feats[i] = int(f)
 	}
 	return checkpoint.CompleteChunks(c.Recovered, chunker, feats)
+}
+
+// Autotune knob ranges: prefetch depth may climb to maxReadAheadDepth
+// windows per reader set; admission never drops below one token (a
+// zero-token limit would wedge the texture filters).
+const maxReadAheadDepth = 32
+
+// readAheadGate registers the reader prefetch knob with the controller and
+// returns the shared gate, or nil when autotuning is off. The gate starts
+// at the configured static depth (at least 1 — a gated reader is always
+// asynchronous) and may be resized across [1, maxReadAheadDepth] mid-run.
+func (c *Config) readAheadGate() *readahead.Gate {
+	if c.AutoTune == nil {
+		return nil
+	}
+	start := c.ReadAhead
+	if start < 1 {
+		start = 1
+	}
+	return c.AutoTune.EnableReadAhead(start, 1, maxReadAheadDepth)
+}
+
+// admission registers the texture admission knob for copies compute slots
+// and returns the shared semaphore, or nil when autotuning is off or there
+// is only one slot (nothing to shed).
+func (c *Config) admission(copies int) *autotune.Tokens {
+	if c.AutoTune == nil || copies <= 1 {
+		return nil
+	}
+	return c.AutoTune.EnableAdmission(copies, 1, copies)
 }
 
 // defaultChunkShape picks a chunk covering the full x–y extent and a
@@ -211,13 +251,14 @@ func Build(store *dataset.Store, cfg *Config, layout *Layout) (*filter.Graph, *f
 		Name:   "RFR",
 		Copies: len(srcNodes),
 		New: filters.NewRFR(filters.RFRConfig{
-			Store:       store,
-			Chunker:     chunker,
-			GrayLevels:  cfg.Analysis.GrayLevels,
-			IOChunk:     cfg.IOChunk,
-			ReadAhead:   cfg.ReadAhead,
-			FaultPolicy: cfg.FaultPolicy,
-			Skip:        skip,
+			Store:         store,
+			Chunker:       chunker,
+			GrayLevels:    cfg.Analysis.GrayLevels,
+			IOChunk:       cfg.IOChunk,
+			ReadAhead:     cfg.ReadAhead,
+			ReadAheadGate: cfg.readAheadGate(),
+			FaultPolicy:   cfg.FaultPolicy,
+			Skip:          skip,
 		}),
 		Nodes: srcNodes,
 	})
@@ -268,12 +309,13 @@ func BuildDICOM(study *dicom.Study, cfg *Config, layout *Layout) (*filter.Graph,
 		Name:   "DFR",
 		Copies: len(srcNodes),
 		New: filters.NewDFR(filters.DFRConfig{
-			Study:       study,
-			Chunker:     chunker,
-			GrayLevels:  cfg.Analysis.GrayLevels,
-			ReadAhead:   cfg.ReadAhead,
-			FaultPolicy: cfg.FaultPolicy,
-			Skip:        skip,
+			Study:         study,
+			Chunker:       chunker,
+			GrayLevels:    cfg.Analysis.GrayLevels,
+			ReadAhead:     cfg.ReadAhead,
+			ReadAheadGate: cfg.readAheadGate(),
+			FaultPolicy:   cfg.FaultPolicy,
+			Skip:          skip,
 		}),
 		Nodes: srcNodes,
 	})
@@ -343,12 +385,16 @@ func addTextureAndOutput(g *filter.Graph, src string, cfg *Config, layout *Layou
 	switch cfg.Impl {
 	case HMPImpl:
 		nodes := nodesOrDefault(layout.HMPNodes, 1)
+		tcfg.Admission = cfg.admission(len(nodes))
 		g.AddFilter(filter.FilterSpec{Name: "HMP", Copies: len(nodes), New: filters.NewHMP(tcfg), Nodes: nodes})
 		g.Connect(filter.ConnSpec{From: src, FromPort: filters.PortOut, To: "HMP", ToPort: filters.PortIn, Policy: cfg.Policy})
 		paramProducer = "HMP"
 	case SplitImpl:
 		hccNodes := nodesOrDefault(layout.HCCNodes, 1)
 		hpcNodes := nodesOrDefault(layout.HPCNodes, 1)
+		// One admission pool across both halves: its limit is the total
+		// compute concurrency of the split stage.
+		tcfg.Admission = cfg.admission(len(hccNodes) + len(hpcNodes))
 		g.AddFilter(filter.FilterSpec{Name: "HCC", Copies: len(hccNodes), New: filters.NewHCC(tcfg), Nodes: hccNodes})
 		g.AddFilter(filter.FilterSpec{Name: "HPC", Copies: len(hpcNodes), New: filters.NewHPC(tcfg), Nodes: hpcNodes})
 		g.Connect(filter.ConnSpec{From: src, FromPort: filters.PortOut, To: "HCC", ToPort: filters.PortIn, Policy: cfg.Policy})
@@ -459,6 +505,21 @@ type RunOptions struct {
 	// fails with a filter.StallError naming the wedged copies. 0 disables.
 	// The simulated cluster runs in virtual time and ignores it.
 	StallTimeout time.Duration
+	// AutoTune drives this controller's feedback loop from the engine's
+	// live snapshots (local and TCP engines; the simulated cluster runs in
+	// virtual time and ignores it). Use the controller already registered
+	// with Config.AutoTune at build time; a controller with no registered
+	// knobs observes but never tunes. Requires metrics.
+	AutoTune *autotune.Controller
+}
+
+// monitor adapts the controller to the filter runtime's Monitor hook.
+func (o *RunOptions) monitor() func(stop <-chan struct{}, p filter.Probe) {
+	if o.AutoTune == nil {
+		return nil
+	}
+	ctrl := o.AutoTune
+	return func(stop <-chan struct{}, p filter.Probe) { ctrl.Run(stop, p.Snapshot) }
 }
 
 // Run executes a built graph on the selected engine.
@@ -476,13 +537,13 @@ func RunContext(ctx context.Context, g *filter.Graph, engine Engine, opts *RunOp
 	case EngineLocal:
 		return filter.RunLocalContext(ctx, g, &filter.Options{
 			QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics, Failover: opts.Failover,
-			StallTimeout: opts.StallTimeout,
+			StallTimeout: opts.StallTimeout, Monitor: opts.monitor(),
 		})
 	case EngineTCP:
 		return filter.RunTCPContext(ctx, g, &filter.Options{
 			QueueDepth: opts.QueueDepth, DisableMetrics: opts.DisableMetrics, WireCodec: opts.WireCodec,
 			Failover: opts.Failover, Retry: opts.Retry, WrapConn: opts.WrapConn,
-			StallTimeout: opts.StallTimeout,
+			StallTimeout: opts.StallTimeout, Monitor: opts.monitor(),
 		})
 	case EngineSim:
 		topo := opts.Topology

@@ -11,40 +11,167 @@
 //     indices 0..n-1 would be fetched sequentially, regardless of which
 //     worker finishes first.
 //   - Bounded: at most depth fetches are completed-but-unconsumed or in
-//     flight at any moment, so window buffers in flight stay O(depth).
-//   - Synchronous degenerate case: depth ≤ 0 runs every fetch inline on the
-//     consumer's goroutine — no worker pool, no reordering window, no extra
-//     buffering — reproducing the pre-readahead reader loop bit for bit.
+//     flight at any moment, so window buffers in flight stay O(depth). The
+//     bound is a Gate credit count, resizable while the reader streams —
+//     the actuation point of the autotune controller.
+//   - Synchronous degenerate case: depth ≤ 0 (and no gate) runs every fetch
+//     inline on the consumer's goroutine — no worker pool, no reordering
+//     window, no extra buffering — reproducing the pre-readahead reader
+//     loop bit for bit.
 //   - Cancellable: Close releases the workers even when the consumer stops
 //     consuming mid-stream (pipeline abort); it is idempotent and safe to
 //     defer alongside normal completion.
 package readahead
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Fetch produces the item for one index. Fetches run concurrently on worker
 // goroutines when depth > 0, so the function must be safe for concurrent
 // calls with distinct indices.
 type Fetch[T any] func(index int) (T, error)
 
-// maxWorkers caps the pool: the point is overlapping a handful of
-// positioned reads with the emit loop, not saturating the CPU.
-const maxWorkers = 4
+// maxWorkers caps the fixed-depth pool: the point is overlapping a handful
+// of positioned reads with the emit loop, not saturating the CPU. A gated
+// reader instead sizes its pool to the gate's upper bound (capped at
+// maxGatedWorkers) so the gate's current depth — not the pool — is the
+// sole concurrency limiter as the controller raises it.
+const (
+	maxWorkers      = 4
+	maxGatedWorkers = 32
+)
+
+// Gate is a resizable credit counter bounding the number of outstanding
+// fetches (in flight or completed-but-unconsumed). A reader's dispatcher
+// takes one credit before starting each fetch and the consumer returns it
+// when the result is consumed, so lowering the depth mid-stream stops new
+// dispatches until the surplus drains, and raising it wakes the dispatcher
+// immediately.
+//
+// One Gate may be shared by several readers (for example every RFR copy of
+// a run), making its depth a global outstanding-window budget. All methods
+// are safe for concurrent use.
+type Gate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	depth  int
+	lo, hi int
+	out    int
+}
+
+// NewGate returns a gate with the given starting depth, clamped into
+// [lo, hi]. Bounds are normalized so that 1 <= lo <= hi: a zero-credit gate
+// would wedge its readers forever.
+func NewGate(depth, lo, hi int) *Gate {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	g := &Gate{lo: lo, hi: hi}
+	g.cond = sync.NewCond(&g.mu)
+	g.depth = g.clamp(depth)
+	return g
+}
+
+func (g *Gate) clamp(d int) int {
+	if d < g.lo {
+		return g.lo
+	}
+	if d > g.hi {
+		return g.hi
+	}
+	return d
+}
+
+// Depth returns the current credit limit.
+func (g *Gate) Depth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.depth
+}
+
+// Bounds returns the [lo, hi] resize range.
+func (g *Gate) Bounds() (lo, hi int) { return g.lo, g.hi }
+
+// Resize sets the credit limit, clamped into the gate's bounds, and returns
+// the applied value. Raising the limit wakes blocked dispatchers at once;
+// lowering it takes effect as outstanding fetches are consumed.
+func (g *Gate) Resize(d int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.depth = g.clamp(d)
+	g.cond.Broadcast()
+	return g.depth
+}
+
+// acquire takes one credit, blocking while the gate is at its limit.
+// It returns false without taking a credit once stop is closed.
+func (g *Gate) acquire(stop <-chan struct{}) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.out < g.depth {
+		g.out++
+		return true
+	}
+	// Slow path: arm a watcher so a close of stop breaks the cond wait.
+	// The watcher cannot broadcast before the first Wait releases the lock,
+	// so the wake-up is never lost.
+	unarmed := make(chan struct{})
+	defer close(unarmed)
+	go func() {
+		select {
+		case <-stop:
+			g.mu.Lock()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		case <-unarmed:
+		}
+	}()
+	for g.out >= g.depth {
+		select {
+		case <-stop:
+			return false
+		default:
+		}
+		g.cond.Wait()
+	}
+	g.out++
+	return true
+}
+
+// release returns n credits.
+func (g *Gate) release(n int) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.out -= n
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
 
 // Reader streams the results of fetch(0..n-1) in order, prefetching up to
-// depth indices ahead of the consumer.
+// the gate's current depth indices ahead of the consumer.
 type Reader[T any] struct {
 	fetch Fetch[T]
 	n     int
-	depth int
+	async bool
 
-	// Synchronous mode (depth <= 0).
+	// Synchronous mode (depth <= 0, no gate).
 	next int
 
-	// Asynchronous mode. The dispatcher assigns indices to workers through
-	// jobs and queues each index's result slot into pending in index order;
-	// pending's capacity is the read-ahead bound. Closing done releases
-	// every goroutine wherever it blocks.
+	// Asynchronous mode. The dispatcher takes a gate credit per index,
+	// assigns the index to a worker through jobs, and queues the index's
+	// result slot into pending in index order; the consumer returns the
+	// credit as it consumes each result, so the gate's depth is the
+	// read-ahead bound. Closing done releases every goroutine wherever it
+	// blocks.
+	gate      *Gate
+	held      atomic.Int64 // credits this reader holds (dispatched, unconsumed)
 	pending   chan chan result[T]
 	jobs      chan job[T]
 	done      chan struct{}
@@ -64,16 +191,35 @@ type job[T any] struct {
 
 // New returns a reader over indices [0, n). depth is the number of indices
 // that may be fetched ahead of the consumer; depth ≤ 0 disables the worker
-// pool and fetches inline from Next.
+// pool and fetches inline from Next. The depth is fixed; use NewGated for a
+// resizable bound.
 func New[T any](fetch Fetch[T], n, depth int) *Reader[T] {
-	r := &Reader[T]{fetch: fetch, n: n, depth: depth}
 	if depth <= 0 {
-		return r
+		return &Reader[T]{fetch: fetch, n: n}
 	}
-	r.pending = make(chan chan result[T], depth)
+	return newAsync(fetch, n, NewGate(depth, depth, depth), min(depth, maxWorkers))
+}
+
+// NewGated returns a reader over indices [0, n) whose read-ahead bound is
+// the gate's current depth — resizable mid-stream, and shared with every
+// other reader on the same gate. A nil gate falls back to a synchronous
+// reader.
+func NewGated[T any](fetch Fetch[T], n int, g *Gate) *Reader[T] {
+	if g == nil {
+		return New(fetch, n, 0)
+	}
+	_, hi := g.Bounds()
+	return newAsync(fetch, n, g, min(hi, maxGatedWorkers))
+}
+
+func newAsync[T any](fetch Fetch[T], n int, g *Gate, workers int) *Reader[T] {
+	_, hi := g.Bounds()
+	r := &Reader[T]{fetch: fetch, n: n, async: true, gate: g}
+	// pending's capacity matches the gate's maximum so a dispatcher holding
+	// a credit never blocks on the slot queue.
+	r.pending = make(chan chan result[T], hi)
 	r.jobs = make(chan job[T])
 	r.done = make(chan struct{})
-	workers := min(depth, maxWorkers)
 	r.wg.Add(workers + 1)
 	for w := 0; w < workers; w++ {
 		go r.worker()
@@ -82,13 +228,17 @@ func New[T any](fetch Fetch[T], n, depth int) *Reader[T] {
 	return r
 }
 
-// dispatch hands indices to the workers in order. The send into pending
-// (capacity depth) is what bounds the number of outstanding fetches: the
-// slot is queued before the job is offered to any worker.
+// dispatch hands indices to the workers in order. The gate credit taken
+// before each index is what bounds the number of outstanding fetches: the
+// credit is held from here until the consumer takes the result in Next.
 func (r *Reader[T]) dispatch() {
 	defer r.wg.Done()
 	defer close(r.pending)
 	for i := 0; i < r.n; i++ {
+		if !r.gate.acquire(r.done) {
+			return
+		}
+		r.held.Add(1)
 		out := make(chan result[T], 1)
 		select {
 		case r.pending <- out:
@@ -121,7 +271,7 @@ func (r *Reader[T]) worker() {
 // is returned in err with ok still true, so the consumer can distinguish
 // "stream finished" from "stream failed".
 func (r *Reader[T]) Next() (v T, err error, ok bool) {
-	if r.depth <= 0 {
+	if !r.async {
 		if r.next >= r.n {
 			return v, nil, false
 		}
@@ -141,6 +291,8 @@ func (r *Reader[T]) Next() (v T, err error, ok bool) {
 		}
 		select {
 		case res := <-out:
+			r.held.Add(-1)
+			r.gate.release(1)
 			return res.v, res.err, true
 		case <-r.done:
 			return v, nil, false
@@ -153,11 +305,16 @@ func (r *Reader[T]) Next() (v T, err error, ok bool) {
 // Close stops the prefetcher and waits for every worker to exit. It is
 // idempotent and must be called even after a complete consumption (defer it)
 // so the goroutines never outlive the filter copy. Fetches already in flight
-// finish before their workers observe the close.
+// finish before their workers observe the close. Credits still held (results
+// dispatched but never consumed — an aborted stream) are returned to the
+// gate, so readers sharing it are not starved by a sibling's early exit.
 func (r *Reader[T]) Close() {
-	if r.depth <= 0 {
+	if !r.async {
 		return
 	}
-	r.closeOnce.Do(func() { close(r.done) })
-	r.wg.Wait()
+	r.closeOnce.Do(func() {
+		close(r.done)
+		r.wg.Wait()
+		r.gate.release(int(r.held.Swap(0)))
+	})
 }

@@ -140,6 +140,132 @@ func TestCloseMidStream(t *testing.T) {
 	}
 }
 
+// TestGateResizeGrow checks that raising a gate's depth mid-stream lets the
+// dispatcher start more outstanding fetches without rebuilding the reader —
+// the live-tuning contract the autotune controller relies on.
+func TestGateResizeGrow(t *testing.T) {
+	const n = 100
+	var started atomic.Int64
+	release := make(chan struct{})
+	fetch := func(i int) (int, error) {
+		started.Add(1)
+		<-release
+		return i, nil
+	}
+	g := NewGate(2, 1, 16)
+	r := NewGated(fetch, n, g)
+	defer r.Close()
+	defer close(release)
+
+	waitFor := func(want int64) {
+		deadline := time.Now().Add(2 * time.Second)
+		for started.Load() < want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond) // give an over-dispatch bug time to show
+		if got := started.Load(); got != want {
+			t.Fatalf("%d fetches outstanding, want %d (depth=%d)", got, want, g.Depth())
+		}
+	}
+	waitFor(2)
+	if d := g.Resize(8); d != 8 {
+		t.Fatalf("Resize(8) = %d", d)
+	}
+	waitFor(8)
+}
+
+// TestGateResizeShrink checks that lowering the depth stops new dispatches
+// until the surplus outstanding fetches are consumed.
+func TestGateResizeShrink(t *testing.T) {
+	const n = 50
+	var started atomic.Int64
+	fetch := func(i int) (int, error) {
+		started.Add(1)
+		return i, nil
+	}
+	g := NewGate(6, 1, 16)
+	r := NewGated(fetch, n, g)
+	defer r.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for started.Load() < 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	g.Resize(2)
+	// Consuming one result returns one credit; with 5 still outstanding and
+	// the limit at 2, no new fetch may start.
+	base := started.Load()
+	if _, err, ok := r.Next(); err != nil || !ok {
+		t.Fatalf("Next: err=%v ok=%v", err, ok)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := started.Load(); got != base {
+		t.Fatalf("dispatcher started %d fetches while over the shrunken limit", got-base)
+	}
+	// Draining below the new limit resumes dispatch, and order still holds.
+	for i := 1; i < n; i++ {
+		v, err, ok := r.Next()
+		if err != nil || !ok || v != i {
+			t.Fatalf("Next %d = (%d, %v, %v)", i, v, err, ok)
+		}
+	}
+}
+
+// TestGateShared checks that two readers on one gate share its credit
+// budget, and that closing one mid-stream returns its held credits so the
+// survivor is not starved.
+func TestGateShared(t *testing.T) {
+	const n = 40
+	var started atomic.Int64
+	release := make(chan struct{})
+	blocking := func(i int) (int, error) {
+		started.Add(1)
+		<-release
+		return i, nil
+	}
+	g := NewGate(4, 1, 16)
+	a := NewGated(blocking, n, g)
+	b := NewGated(blocking, n, g)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for started.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := started.Load(); got != 4 {
+		t.Fatalf("%d fetches outstanding across two readers, want shared budget 4", got)
+	}
+	// Aborting reader a must hand its credits back so b can finish alone.
+	// (Unblock the fetches first: Close waits for in-flight fetches, and
+	// from here both readers race for credits until a is gone.)
+	close(release)
+	a.Close()
+	for i := 0; i < n; i++ {
+		v, err, ok := b.Next()
+		if err != nil || !ok || v != i {
+			t.Fatalf("survivor Next %d = (%d, %v, %v)", i, v, err, ok)
+		}
+	}
+	b.Close()
+}
+
+// TestGateClamp checks construction and resize both clamp into [lo, hi].
+func TestGateClamp(t *testing.T) {
+	g := NewGate(0, 2, 8)
+	if d := g.Depth(); d != 2 {
+		t.Fatalf("NewGate(0,2,8).Depth() = %d, want 2", d)
+	}
+	if d := g.Resize(100); d != 8 {
+		t.Fatalf("Resize(100) = %d, want 8", d)
+	}
+	if d := g.Resize(-3); d != 2 {
+		t.Fatalf("Resize(-3) = %d, want 2", d)
+	}
+	if lo, hi := g.Bounds(); lo != 2 || hi != 8 {
+		t.Fatalf("Bounds() = %d,%d", lo, hi)
+	}
+}
+
 // BenchmarkNextSync and BenchmarkNextAsync are the readahead
 // microbenchmarks run by CI's io-bench smoke step: a fetch with a small
 // fixed latency, consumed with and without prefetching.

@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"haralick4d/internal/cliflags"
 	"haralick4d/internal/core"
@@ -133,6 +136,11 @@ func main() {
 		}
 		env.Store = cached
 	}
+	// ^C and SIGTERM (what containers and orchestrators send first) cancel
+	// the figures' engine runs cleanly; a second signal kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	env.Ctx = ctx
 	env.Repeats = *repeats
 	env.ComputeScale = *computeS
 	env.KernelWorkers = *kworkers

@@ -12,6 +12,11 @@
 //	haralick4d -data /data/study1 -out /tmp/maps -format jpeg
 //	haralick4d -data /data/study1 -impl split -rep sparse -texture 8 -engine tcp -out /tmp/uso -format uso
 //	haralick4d -data /data/study1 -engine sim -impl split -stats
+//
+// The serve subcommand runs the multi-job analysis daemon instead of a
+// single analysis (see internal/server):
+//
+//	haralick4d serve -serve-addr localhost:7474 -state-dir /var/lib/haralick4d
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"haralick4d/internal/autotune"
@@ -104,6 +110,10 @@ func validateCountFlags(readAhead, kernelWorkers, kernelBlock int) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		data     = flag.String("data", "", "dataset directory (see cmd/gendata); required unless -dataset-url is given")
 		dataURL  = flag.String("dataset-url", "", "dataset URL: a directory path, file://dir, mem://name, or http(s)://host/prefix for a remote range-read server (overrides -data)")
@@ -380,7 +390,10 @@ func main() {
 	}
 	fmt.Printf("dataset %v, ROI %v, G=%d, %s/%s/%s on %s engine\n",
 		dims, cfg.Analysis.ROI, cfg.Analysis.GrayLevels, cfg.Impl, cfg.Analysis.Representation, cfg.Policy, engine)
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is what containers and orchestrators send first: treat it
+	// like ^C so the run cancels cleanly and the checkpoint journal is
+	// flushed instead of dying mid-frame.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	rs, err := pipeline.RunContext(ctx, g, engine, &pipeline.RunOptions{
 		WireCodec:    codec,

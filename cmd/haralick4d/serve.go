@@ -1,0 +1,65 @@
+// The serve subcommand: `haralick4d serve` starts the multi-job analysis
+// daemon (internal/server) and runs it until SIGTERM or ^C triggers a
+// graceful drain — stop admissions, checkpoint and park running jobs,
+// exit. A daemon killed outright (SIGKILL, OOM, power) instead recovers on
+// its next start from the job journal in -state-dir.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"haralick4d/internal/cliflags"
+	"haralick4d/internal/server"
+)
+
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("haralick4d serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("serve-addr", "localhost:7474", "HTTP listen address of the control API")
+		stateDir = fs.String("state-dir", "", "daemon state directory: job journal, per-job checkpoints, default output dirs (required)")
+		maxJobs  = fs.Int("max-jobs", 0, "concurrently running jobs (0 = default 2)")
+		maxQueue = fs.Int("max-queue", 0, "admission queue bound; submits beyond it are shed with 429 (0 = default 16)")
+		totalRA  = fs.Int("total-readahead", 0, "global read-ahead credit budget split across running jobs (0 = default 64)")
+		totalWk  = fs.Int("total-workers", 0, "global compute-admission budget split across running jobs (0 = GOMAXPROCS)")
+		jobRA    = fs.Int("job-quota-readahead", 0, "per-job read-ahead quota cap (0 = default 16)")
+		jobWk    = fs.Int("job-quota-workers", 0, "per-job compute quota cap (0 = GOMAXPROCS)")
+		drainS   = fs.String("drain-timeout", "", "graceful-drain bound on SIGTERM/^C, e.g. 45s (default 30s)")
+		stallS   = fs.String("stall-timeout", "", "per-job stall watchdog default when a spec leaves stall_timeout empty, e.g. 2m (default: disabled)")
+	)
+	fs.Parse(args)
+	sf, err := cliflags.ParseServeFlags(*addr, *stateDir,
+		*maxJobs, *maxQueue, *totalRA, *totalWk, *jobRA, *jobWk, *drainS, *stallS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haralick4d serve: %v\n", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	s, err := server.New(server.Config{
+		Addr:           sf.Addr,
+		StateDir:       sf.StateDir,
+		MaxJobs:        sf.MaxJobs,
+		MaxQueue:       sf.MaxQueue,
+		TotalReadAhead: sf.TotalReadAhead,
+		TotalWorkers:   sf.TotalWorkers,
+		JobReadAhead:   sf.JobReadAhead,
+		JobWorkers:     sf.JobWorkers,
+		DrainTimeout:   sf.DrainTimeout,
+		StallTimeout:   sf.StallTimeout,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		fail("serve: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.ListenAndServe(ctx); err != nil {
+		fail("serve: %v", err)
+	}
+}

@@ -225,7 +225,26 @@ type Options struct {
 	// trace reproduces the same decisions; 0 selects seed 1. Requires
 	// AutoTune.
 	AutoTuneSeed int64
+	// Progress, when non-nil, is called with a live cumulative progress
+	// summary every ProgressInterval while a pipeline run is in flight —
+	// the export point for job-status APIs (the serve daemon streams these
+	// per job). Calls happen on a dedicated goroutine; the callback must
+	// not block for long and must tolerate being called zero times on very
+	// short runs. Requires metrics; ignored by the sequential reference
+	// path, which has no live counters to sample.
+	Progress func(Progress)
+	// ProgressInterval is the sampling period; 0 selects the 500 ms
+	// default. Requires Progress.
+	ProgressInterval time.Duration
 }
+
+// Progress is the compact cumulative progress summary delivered to
+// Options.Progress (see internal/metrics.Progress for field semantics).
+type Progress = metrics.Progress
+
+// DefaultProgressInterval is the Options.Progress sampling period when
+// ProgressInterval is zero.
+const DefaultProgressInterval = 500 * time.Millisecond
 
 // Validate checks the options and reports the first problem — the same
 // error an Analyze call would return before doing any work. It does not
@@ -242,7 +261,54 @@ func (o *Options) Validate() error {
 	if err := o.validateBackend(); err != nil {
 		return err
 	}
-	return o.validateAutoTune()
+	if err := o.validateAutoTune(); err != nil {
+		return err
+	}
+	return o.validateProgress()
+}
+
+// validateProgress checks the live-progress option subset.
+func (o *Options) validateProgress() error {
+	if o == nil {
+		return nil
+	}
+	if o.ProgressInterval < 0 {
+		return fmt.Errorf("haralick4d: ProgressInterval must not be negative")
+	}
+	if o.Progress == nil {
+		if o.ProgressInterval > 0 {
+			return fmt.Errorf("haralick4d: ProgressInterval set without a Progress callback")
+		}
+		return nil
+	}
+	if o.DisableMetrics {
+		return fmt.Errorf("haralick4d: Progress needs the metrics it samples (unset DisableMetrics)")
+	}
+	return nil
+}
+
+// progressMonitor adapts the Progress callback into the filter runtime's
+// Monitor hook: a ticker loop sampling the live probe until the run ends.
+func (o *Options) progressMonitor() func(stop <-chan struct{}, p filter.Probe) {
+	if o == nil || o.Progress == nil {
+		return nil
+	}
+	fn, interval := o.Progress, o.ProgressInterval
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	return func(stop <-chan struct{}, p filter.Probe) {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				fn(p.Snapshot().Progress())
+			}
+		}
+	}
 }
 
 // validateAutoTune checks the online-tuning option subset.
@@ -456,6 +522,9 @@ func AnalyzeContext(ctx context.Context, v *Volume, opts *Options) (*Result, err
 	if err := opts.validateAutoTune(); err != nil {
 		return nil, err
 	}
+	if err := opts.validateProgress(); err != nil {
+		return nil, err
+	}
 	if opts != nil && opts.Checkpoint != "" {
 		// The in-memory path holds no disk-resident inputs to re-read on a
 		// later life, so a journal could never be honoured.
@@ -522,7 +591,7 @@ func analyzeGrid(ctx context.Context, grid *volume.Grid, cfg core.Config, opts *
 	if err != nil {
 		return nil, err
 	}
-	ropts := &pipeline.RunOptions{DisableMetrics: !metricsOn, AutoTune: ctrl}
+	ropts := &pipeline.RunOptions{DisableMetrics: !metricsOn, AutoTune: ctrl, Monitor: opts.progressMonitor()}
 	if opts != nil {
 		ropts.StallTimeout = opts.StallTimeout
 	}
@@ -579,6 +648,9 @@ func AnalyzeDatasetContext(ctx context.Context, url string, opts *Options) (*Res
 	if err := opts.validateAutoTune(); err != nil {
 		return nil, err
 	}
+	if err := opts.validateProgress(); err != nil {
+		return nil, err
+	}
 	uopts := &dataset.URLOptions{}
 	if opts != nil {
 		uopts.CacheBlocks = opts.CacheBlocks
@@ -620,7 +692,7 @@ func AnalyzeDatasetContext(ctx context.Context, url string, opts *Options) (*Res
 		}
 		return nil, err
 	}
-	ropts := &pipeline.RunOptions{DisableMetrics: opts != nil && opts.DisableMetrics, AutoTune: ctrl}
+	ropts := &pipeline.RunOptions{DisableMetrics: opts != nil && opts.DisableMetrics, AutoTune: ctrl, Monitor: opts.progressMonitor()}
 	if opts != nil {
 		// SkipDegraded asks for a run that survives faults, so crashed
 		// copies fail over to survivors instead of aborting.

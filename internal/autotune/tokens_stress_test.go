@@ -1,0 +1,187 @@
+package autotune
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests pin the admission semaphore's behavior when Resize races live
+// traffic — the situation the daemon's resource governor creates every time
+// a job starts or finishes and every running job's share is re-cut in place.
+
+// TestTokensShrinkBelowInFlight pins the shrink semantics when the cut goes
+// below what is already held: nothing is revoked, new admissions stop
+// entirely, and they resume only once the holders drain below the new limit.
+func TestTokensShrinkBelowInFlight(t *testing.T) {
+	tk := NewTokens(8, 1, 16)
+	for i := 0; i < 8; i++ {
+		if !tk.Acquire(nil) {
+			t.Fatal("acquire within the limit blocked")
+		}
+	}
+	if n := tk.Resize(2); n != 2 {
+		t.Fatalf("Resize(2) = %d", n)
+	}
+	admitted := make(chan bool, 1)
+	go func() { admitted <- tk.Acquire(nil) }()
+	mustBlock := func(when string) {
+		t.Helper()
+		select {
+		case <-admitted:
+			t.Fatalf("admission while at or over the shrunken limit (%s)", when)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	mustBlock("8 held, limit 2")
+	for i := 0; i < 6; i++ { // drain to exactly the new limit
+		tk.Release()
+	}
+	mustBlock("2 held, limit 2")
+	tk.Release() // 1 held < limit 2: the waiter gets the freed token
+	select {
+	case ok := <-admitted:
+		if !ok {
+			t.Fatal("Acquire returned false with no stop close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("draining below the shrunken limit did not admit the waiter")
+	}
+	tk.Release()
+	tk.Release()
+}
+
+// TestTokensGrowWakesAllBlocked parks several acquirers on a full semaphore
+// and grows it: every newly minted token must be handed to a waiter, not
+// just the first one the broadcast happens to wake.
+func TestTokensGrowWakesAllBlocked(t *testing.T) {
+	tk := NewTokens(1, 1, 16)
+	if !tk.Acquire(nil) {
+		t.Fatal("first acquire blocked")
+	}
+	const waiters = 5
+	admitted := make(chan bool, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { admitted <- tk.Acquire(nil) }()
+	}
+	time.Sleep(20 * time.Millisecond) // park them on the cond
+	tk.Resize(1 + waiters)            // one held + one token per waiter
+	for i := 0; i < waiters; i++ {
+		select {
+		case ok := <-admitted:
+			if !ok {
+				t.Fatal("woken Acquire returned false")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d still blocked after grow", i)
+		}
+	}
+	for i := 0; i < 1+waiters; i++ {
+		tk.Release()
+	}
+}
+
+// TestTokensResizeDuringDrain closes stop in the middle of a resize storm:
+// every blocked acquirer must abort with false — none may stay wedged on
+// the cond — and every token must come home. (The workers also poll stop
+// after each release: the fast Acquire path deliberately admits without
+// checking stop, so a worker that keeps winning tokens would otherwise
+// never observe the drain.)
+func TestTokensResizeDuringDrain(t *testing.T) {
+	tk := NewTokens(2, 1, 8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk.Acquire(stop) {
+				time.Sleep(time.Millisecond)
+				tk.Release()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	resizerDone := make(chan struct{})
+	go func() {
+		defer close(resizerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tk.Resize(1 + i%8)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("an acquirer stayed wedged after stop closed mid-resize")
+	}
+	<-resizerDone
+	tk.mu.Lock()
+	out := tk.out
+	tk.mu.Unlock()
+	if out != 0 {
+		t.Fatalf("%d tokens leaked through the drain", out)
+	}
+}
+
+// TestTokensConcurrentResizeStress whipsaws the limit across its whole
+// range under 2x oversubscribed traffic and checks the invariant no
+// interleaving may break: concurrent holders never exceed the semaphore's
+// upper bound, and it is at rest when the traffic stops.
+func TestTokensConcurrentResizeStress(t *testing.T) {
+	const hi = 8
+	tk := NewTokens(hi, 1, hi)
+	stop := make(chan struct{})
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2*hi; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk.Acquire(stop) {
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				cur.Add(-1)
+				tk.Release()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		tk.Resize(1 + i%hi)
+	}
+	close(stop)
+	wg.Wait()
+	if p := peak.Load(); p > hi {
+		t.Fatalf("observed %d concurrent holders, upper bound is %d", p, hi)
+	}
+	tk.mu.Lock()
+	out := tk.out
+	tk.mu.Unlock()
+	if out != 0 {
+		t.Fatalf("%d tokens leaked through the stress run", out)
+	}
+}

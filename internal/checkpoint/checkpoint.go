@@ -318,6 +318,15 @@ func (j *Journal) load(hdr Header) (*State, error) {
 	return st, nil
 }
 
+// encodeFrame wraps one payload in the journal's on-disk frame:
+// u32le length | u32le CRC-32C | payload.
+func encodeFrame(payload []byte) []byte {
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	return append(frame, payload...)
+}
+
 // nextFrame returns the payload of the frame at off and the offset of the
 // next one; ok is false when the bytes from off on do not form an intact
 // frame (end of file or torn tail).
@@ -407,11 +416,7 @@ func (j *Journal) appendLocked(payload []byte) error {
 	if j.closed {
 		return fmt.Errorf("checkpoint: journal %s is closed", j.path)
 	}
-	frame := make([]byte, 0, 8+len(payload))
-	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
-	frame = append(frame, payload...)
-	if _, err := j.f.Write(frame); err != nil {
+	if _, err := j.f.Write(encodeFrame(payload)); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if time.Since(j.lastSync) >= j.interval {

@@ -1,0 +1,179 @@
+// Generic CRC-framed logs.
+//
+// The portion journal above is one client of a more general artifact: an
+// append-only file of length-prefixed, checksummed frames whose only
+// permitted damage is a torn tail. Log exposes that substrate directly so
+// other subsystems — the analysis daemon's job journal in internal/server —
+// get the same crash-safety contract (u32le length | u32le CRC-32C |
+// payload, header frame compared byte-for-byte on reopen, torn tail
+// truncated away, interval fsync) without reimplementing the framing.
+
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Log is an open generic framed log. Append is safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	interval time.Duration
+	lastSync time.Time
+	closed   bool
+}
+
+// CreateLog truncates (or creates) the log at path and writes header as its
+// first frame. syncInterval bounds machine-death data loss exactly as it
+// does for Journal (0 selects DefaultSyncInterval); the parent directory is
+// fsync'd once so the file's existence itself is durable.
+func CreateLog(path string, header []byte, syncInterval time.Duration) (*Log, error) {
+	if len(header) == 0 {
+		return nil, fmt.Errorf("checkpoint: log header must not be empty")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	l := newLog(f, path, syncInterval)
+	if err := l.Append(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := l.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	syncDir(filepath.Dir(path))
+	return l, nil
+}
+
+// OpenLog reopens an existing log: it verifies that the first frame equals
+// header byte-for-byte (ErrMismatch otherwise), collects every intact
+// subsequent frame, truncates any torn tail, and returns the log positioned
+// for further appends together with the surviving payloads and the torn
+// byte count.
+func OpenLog(path string, header []byte, syncInterval time.Duration) (l *Log, records [][]byte, truncated int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	l = newLog(f, path, syncInterval)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	off := 0
+	sawHeader := false
+	for {
+		payload, next, ok := nextFrame(data, off)
+		if !ok {
+			break
+		}
+		if !sawHeader {
+			if len(payload) != len(header) || string(payload) != string(header) {
+				f.Close()
+				return nil, nil, 0, fmt.Errorf("%w (log header differs)", ErrMismatch)
+			}
+			sawHeader = true
+			off = next
+			continue
+		}
+		// Frames are immutable once scanned; copy so truncation or later
+		// appends cannot alias the returned slices.
+		records = append(records, append([]byte(nil), payload...))
+		off = next
+	}
+	if !sawHeader {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("%w: no intact header frame", ErrCorrupt)
+	}
+	truncated = int64(len(data) - off)
+	if truncated > 0 {
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("checkpoint: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(off), 0); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	return l, records, truncated, nil
+}
+
+func newLog(f *os.File, path string, syncInterval time.Duration) *Log {
+	if syncInterval <= 0 {
+		syncInterval = DefaultSyncInterval
+	}
+	return &Log{f: f, path: path, interval: syncInterval, lastSync: time.Now()}
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Append frames and writes one payload. The write goes straight to the file
+// (no user-space buffering), so a process death after the call loses
+// nothing; fsync happens on the interval to bound machine-death loss.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("checkpoint: log payload must not be empty")
+	}
+	if len(payload) > maxRecord {
+		return fmt.Errorf("checkpoint: log payload of %d bytes exceeds the %d frame cap", len(payload), maxRecord)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("checkpoint: log %s is closed", l.path)
+	}
+	if _, err := l.f.Write(encodeFrame(payload)); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if time.Since(l.lastSync) >= l.interval {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		l.lastSync = time.Now()
+	}
+	return nil
+}
+
+// Sync forces an fsync of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Close fsyncs and closes the log. Safe to call twice.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	serr := l.f.Sync()
+	cerr := l.f.Close()
+	if serr != nil {
+		return fmt.Errorf("checkpoint: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("checkpoint: %w", cerr)
+	}
+	return nil
+}

@@ -65,3 +65,62 @@ func ParseBackendFlags(url string, cacheBlocks, cacheBlockSize int) (*dataset.UR
 	}
 	return &dataset.URLOptions{CacheBlocks: cacheBlocks, CacheBlockSize: cacheBlockSize}, nil
 }
+
+// ServeFlags is the validated `haralick4d serve` flag set.
+type ServeFlags struct {
+	Addr           string
+	StateDir       string
+	MaxJobs        int
+	MaxQueue       int
+	TotalReadAhead int
+	TotalWorkers   int
+	JobReadAhead   int
+	JobWorkers     int
+	DrainTimeout   time.Duration
+	StallTimeout   time.Duration
+}
+
+// ParseServeFlags validates the daemon flag subset and converts the
+// duration strings. Zero counts select the server package's documented
+// defaults; violations are usage errors (print with flag.Usage(), exit 2).
+func ParseServeFlags(addr, stateDir string, maxJobs, maxQueue, totalRA, totalWorkers, jobRA, jobWorkers int, drainS, stallS string) (*ServeFlags, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("-serve-addr is required (e.g. localhost:7474)")
+	}
+	if stateDir == "" {
+		return nil, fmt.Errorf("-state-dir is required: it holds the job journal the daemon recovers from")
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"-max-jobs", maxJobs}, {"-max-queue", maxQueue},
+		{"-total-readahead", totalRA}, {"-total-workers", totalWorkers},
+		{"-job-quota-readahead", jobRA}, {"-job-quota-workers", jobWorkers},
+	} {
+		if c.v < 0 {
+			return nil, fmt.Errorf("%s must not be negative, got %d", c.name, c.v)
+		}
+	}
+	sf := &ServeFlags{
+		Addr: addr, StateDir: stateDir,
+		MaxJobs: maxJobs, MaxQueue: maxQueue,
+		TotalReadAhead: totalRA, TotalWorkers: totalWorkers,
+		JobReadAhead: jobRA, JobWorkers: jobWorkers,
+	}
+	if drainS != "" {
+		d, err := time.ParseDuration(drainS)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("invalid -drain-timeout %q (want a positive duration like 30s)", drainS)
+		}
+		sf.DrainTimeout = d
+	}
+	if stallS != "" {
+		d, err := time.ParseDuration(stallS)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("invalid -stall-timeout %q (want a positive duration like 2m)", stallS)
+		}
+		sf.StallTimeout = d
+	}
+	return sf, nil
+}

@@ -47,3 +47,48 @@ func TestParseRestartFlags(t *testing.T) {
 		})
 	}
 }
+
+func TestParseServeFlags(t *testing.T) {
+	sf, err := ParseServeFlags("localhost:0", "/tmp/state", 2, 8, 64, 4, 16, 4, "45s", "2m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.DrainTimeout != 45*time.Second || sf.StallTimeout != 2*time.Minute || sf.MaxJobs != 2 {
+		t.Fatalf("parsed %+v", sf)
+	}
+	// Zero counts are valid: they select the server package defaults.
+	if _, err := ParseServeFlags("localhost:0", "/tmp/state", 0, 0, 0, 0, 0, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		f       func() (*ServeFlags, error)
+		wantErr string
+	}{
+		{"no-addr", func() (*ServeFlags, error) {
+			return ParseServeFlags("", "/s", 0, 0, 0, 0, 0, 0, "", "")
+		}, "-serve-addr is required"},
+		{"no-state-dir", func() (*ServeFlags, error) {
+			return ParseServeFlags("localhost:0", "", 0, 0, 0, 0, 0, 0, "", "")
+		}, "-state-dir is required"},
+		{"negative-quota", func() (*ServeFlags, error) {
+			return ParseServeFlags("localhost:0", "/s", 0, 0, 0, 0, -1, 0, "", "")
+		}, "-job-quota-readahead must not be negative"},
+		{"bad-drain", func() (*ServeFlags, error) {
+			return ParseServeFlags("localhost:0", "/s", 0, 0, 0, 0, 0, 0, "eventually", "")
+		}, "invalid -drain-timeout"},
+		{"zero-drain", func() (*ServeFlags, error) {
+			return ParseServeFlags("localhost:0", "/s", 0, 0, 0, 0, 0, 0, "0s", "")
+		}, "invalid -drain-timeout"},
+		{"bad-stall", func() (*ServeFlags, error) {
+			return ParseServeFlags("localhost:0", "/s", 0, 0, 0, 0, 0, 0, "", "-3s")
+		}, "invalid -stall-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.f(); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}

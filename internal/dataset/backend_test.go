@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"testing"
+
+	"haralick4d/internal/fault"
 )
 
 func TestParseURL(t *testing.T) {
@@ -441,4 +443,131 @@ func TestHTTPBackendRetries(t *testing.T) {
 	if fails != 0 {
 		t.Errorf("injected failures remaining: %d", fails)
 	}
+}
+
+// roundTripperFunc adapts a function to http.RoundTripper.
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// assertCanceled checks an HTTP-backend error surfaces the caller's
+// cancellation unmarked: cancellation is not a backend failure, and marking
+// it ErrBackendUnavailable would send the failover scheduler declaring dead
+// a copy that was never unhealthy.
+func assertCanceled(t *testing.T, err error) {
+	t.Helper()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrBackendUnavailable) {
+		t.Error("cancellation misclassified as ErrBackendUnavailable")
+	}
+}
+
+// TestHTTPBackendCancellation pins the retry loop's contract with
+// cancellation: a canceled context aborts the attempt budget immediately —
+// before the first request, between retries, or mid-body — and the error is
+// ctx.Err(), never dressed up as a backend failure.
+func TestHTTPBackendCancellation(t *testing.T) {
+	v := randomVolume(21, [4]int{8, 6, 2, 1})
+	dir := t.TempDir()
+	if _, err := Write(dir, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv := serveDataset(t, dir)
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		flaky := &fault.FlakyTransport{}
+		be, err := NewHTTPBackend(srv.URL, &http.Client{Transport: flaky}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err = be.ReadFile(ctx, "dataset.json")
+		assertCanceled(t, err)
+		if n := flaky.Calls(); n != 0 {
+			t.Errorf("pre-canceled read issued %d requests, want 0", n)
+		}
+	})
+
+	t.Run("canceled-between-attempts", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		flaky := &fault.FlakyTransport{FailEvery: 1} // every attempt dies
+		// The caller gives up as soon as the first attempt fails; the rest
+		// of the 3-attempt budget must not be spent.
+		tr := roundTripperFunc(func(r *http.Request) (*http.Response, error) {
+			resp, rerr := flaky.RoundTrip(r)
+			cancel()
+			return resp, rerr
+		})
+		be, err := NewHTTPBackend(srv.URL, &http.Client{Transport: tr}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = be.ReadFile(ctx, "dataset.json")
+		assertCanceled(t, err)
+		if n := flaky.Calls(); n != 1 {
+			t.Errorf("canceled retry loop issued %d requests, want 1", n)
+		}
+	})
+
+	t.Run("canceled-mid-body", func(t *testing.T) {
+		released := make(chan struct{})
+		slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Length", "4096")
+			w.WriteHeader(http.StatusOK)
+			w.Write(make([]byte, 16))
+			w.(http.Flusher).Flush()
+			close(released) // body stays short until the client goes away
+			<-r.Context().Done()
+		}))
+		defer slow.Close()
+		be, err := NewHTTPBackend(slow.URL, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			<-released
+			cancel()
+		}()
+		_, err = be.ReadFile(ctx, "any")
+		assertCanceled(t, err)
+	})
+
+	t.Run("canceled-mid-range-read", func(t *testing.T) {
+		released := make(chan struct{})
+		slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Length", "4096")
+			if r.Method == http.MethodHead {
+				return
+			}
+			w.WriteHeader(http.StatusPartialContent)
+			w.Write(make([]byte, 16))
+			w.(http.Flusher).Flush()
+			close(released)
+			<-r.Context().Done()
+		}))
+		defer slow.Close()
+		be, err := NewHTTPBackend(slow.URL, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := be.Open(context.Background(), "any")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer obj.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			<-released
+			cancel()
+		}()
+		_, err = obj.ReadAt(ctx, make([]byte, 4096), 0)
+		assertCanceled(t, err)
+	})
 }

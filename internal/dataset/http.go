@@ -86,6 +86,12 @@ func retryable(status int, err error) bool {
 func (b *HTTPBackend) do(ctx context.Context, method, u string, rangeHdr string, want ...int) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < b.attempts; attempt++ {
+		// A canceled context aborts the budget immediately and surfaces
+		// ctx.Err() unmarked: cancellation is the caller's decision, not a
+		// backend failure, and must not trip the failover taxonomy.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if attempt > 0 {
 			// Deterministic linear backoff: long enough to skate over a
 			// broken keep-alive connection, short enough for tests.
@@ -160,6 +166,11 @@ func (b *HTTPBackend) ReadFile(ctx context.Context, name string) ([]byte, error)
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
+		// Cancellation mid-body is the caller aborting, not the backend
+		// failing; keep it out of the ErrBackendUnavailable taxonomy.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, backendErrf("GET %s: reading body: %w", u, err)
 	}
 	b.c.reads.Add(1)
@@ -225,6 +236,9 @@ func (o *httpObject) ReadAt(ctx context.Context, p []byte, off int64) (int, erro
 	if err == io.ErrUnexpectedEOF {
 		err = io.EOF // short object: io.ReaderAt reports EOF with the partial read
 	} else if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return n, cerr // caller aborted mid-body; not a backend failure
+		}
 		return n, backendErrf("GET %s: reading range %s: %w", o.url, rangeHdr, err)
 	}
 	return n, err

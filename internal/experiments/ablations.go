@@ -394,7 +394,7 @@ func Kernel(e *Env) (*Figure, error) {
 			if err != nil {
 				return 0, nil, err
 			}
-			rs, err := pipeline.Run(g, pipeline.EngineLocal, &pipeline.RunOptions{StallTimeout: e.StallTimeout})
+			rs, err := pipeline.RunContext(e.ctx(), g, pipeline.EngineLocal, &pipeline.RunOptions{StallTimeout: e.StallTimeout})
 			if err != nil {
 				return 0, nil, err
 			}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -110,6 +111,11 @@ type Env struct {
 	Store        *dataset.Store
 	ComputeScale float64
 	QueueDepth   int
+	// Ctx cancels the figures' engine runs: cmd/experiments wires it to
+	// SIGTERM/^C so an unattended sweep killed by an orchestrator unwinds
+	// through the filter runtime instead of dying mid-write. Nil means
+	// context.Background() (uncancellable).
+	Ctx context.Context
 	// Repeats is how many times each simulated configuration runs; the run
 	// with the smallest virtual elapsed time is reported, suppressing host
 	// jitter (GC pauses, scheduling noise) that the emulation would
@@ -144,6 +150,15 @@ type Env struct {
 	// an experiment performed (the best repetition of the last simulated
 	// configuration). cmd/experiments surfaces it behind -metrics.
 	LastReport *metrics.RunReport
+}
+
+// ctx is Env.Ctx with the nil default resolved, so every engine-run site
+// cancels consistently without each one re-spelling the fallback.
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
 }
 
 // Setup generates the phantom study for the scale and writes it, declustered

@@ -86,7 +86,7 @@ func (e *Env) simulate(mk func() (*pipeline.Config, *pipeline.Layout, error), to
 		if err != nil {
 			return nil, err
 		}
-		stats, err := pipeline.Run(g, pipeline.EngineSim, &pipeline.RunOptions{
+		stats, err := pipeline.RunContext(e.ctx(), g, pipeline.EngineSim, &pipeline.RunOptions{
 			Topology:     topo,
 			QueueDepth:   e.QueueDepth,
 			ComputeScale: e.ComputeScale,

@@ -180,20 +180,38 @@ func (s *SlowReaderAt) ReadAt(p []byte, off int64) (int, error) {
 // absorb every injected failure and the run completes bit-identically; with
 // FailEvery 1 every attempt dies and reads surface
 // dataset.ErrBackendUnavailable.
+//
+// The modulus schedule counts requests globally, so under concurrent reads
+// the retries of one read can land on consecutive multiples of FailEvery and
+// exhaust the attempt budget — a scheduling-dependent outcome. Chaos runs
+// that must complete regardless of interleaving use FirstPerURL instead: the
+// first request for each distinct URL fails and its retry always passes, so
+// every object read exercises the retry path and none can run out of budget.
 type FlakyTransport struct {
 	// Inner handles the surviving requests; nil selects
 	// http.DefaultTransport.
 	Inner http.RoundTripper
 	// FailEvery fails every n-th request; 0 never fails.
 	FailEvery int
+	// FirstPerURL fails the first request for each distinct URL (then lets
+	// every later request for it through) instead of the FailEvery schedule.
+	FirstPerURL bool
 
 	calls atomic.Int64
+	fails atomic.Int64
+	seen  sync.Map // url -> struct{}{}
 }
 
 // RoundTrip implements http.RoundTripper.
 func (f *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	n := f.calls.Add(1)
-	if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+	if f.FirstPerURL {
+		if _, loaded := f.seen.LoadOrStore(req.URL.String(), struct{}{}); !loaded {
+			f.fails.Add(1)
+			return nil, fmt.Errorf("request %d (first for %s): %w", n, req.URL, ErrInjected)
+		}
+	} else if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+		f.fails.Add(1)
 		return nil, fmt.Errorf("request %d: %w", n, ErrInjected)
 	}
 	inner := f.Inner
@@ -205,6 +223,9 @@ func (f *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 
 // Calls reports how many requests have passed through the injector.
 func (f *FlakyTransport) Calls() int64 { return f.calls.Load() }
+
+// Failures reports how many requests the injector killed.
+func (f *FlakyTransport) Failures() int64 { return f.fails.Load() }
 
 // CrashAfter wraps a filter factory so that copy crashCopy panics
 // immediately after receiving its n-th buffer — while the buffer is still

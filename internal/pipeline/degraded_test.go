@@ -20,25 +20,27 @@ import (
 // chunks without touching every chunk's halo.
 var degradedDims = [4]int{24, 20, 6, 8}
 
-// corruptStore writes a phantom study and then damages a few slice files,
-// returning the store and the damaged slice ids.
-func corruptStore(t *testing.T) (*dataset.Store, []int) {
+// corruptDataset writes a phantom study and then damages a few slice files,
+// returning the dataset directory and the damaged files. 48 slices * 0.07 =
+// 3 victims: one byte flip (checksum-detected), one truncation, one
+// deletion.
+func corruptDataset(t *testing.T) (string, []string) {
 	t.Helper()
 	dir := t.TempDir()
 	v := synthetic.Generate(synthetic.Config{Dims: degradedDims, Seed: 17})
 	if _, err := dataset.Write(dir, v, 3); err != nil {
 		t.Fatal(err)
 	}
-	// 48 slices * 0.07 = 3 victims: one byte flip (checksum-detected), one
-	// truncation, one deletion.
 	damaged, err := dataset.CorruptSlices(dir, 0.07, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := dataset.Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	return dir, damaged
+}
+
+// damagedIDs maps the damaged slice files to their slice ids, sorted.
+func damagedIDs(t *testing.T, st *dataset.Store, damaged []string) []int {
+	t.Helper()
 	var ids []int
 	for _, f := range damaged {
 		var tt, z int
@@ -48,7 +50,19 @@ func corruptStore(t *testing.T) (*dataset.Store, []int) {
 		ids = append(ids, dataset.SliceID(&st.Meta, z, tt))
 	}
 	sort.Ints(ids)
-	return st, ids
+	return ids
+}
+
+// corruptStore writes a phantom study and then damages a few slice files,
+// returning the store and the damaged slice ids.
+func corruptStore(t *testing.T) (*dataset.Store, []int) {
+	t.Helper()
+	dir, damaged := corruptDataset(t)
+	st, err := dataset.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, damagedIDs(t, st, damaged)
 }
 
 func TestFailFastOnCorruptData(t *testing.T) {

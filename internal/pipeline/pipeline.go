@@ -118,6 +118,16 @@ type Config struct {
 	// changes scheduling only, so outputs match the untuned run
 	// bit-for-bit.
 	AutoTune *autotune.Controller
+	// ReadAheadGate, when set, is the resizable prefetch bound the readers
+	// share instead of a fixed ReadAhead depth — the injection point for an
+	// external resource governor (the serve daemon partitions one global
+	// read-ahead budget across jobs through these). Mutually exclusive with
+	// AutoTune, which builds its own gate.
+	ReadAheadGate *readahead.Gate
+	// Admission, when set, is the resizable compute-admission semaphore the
+	// texture filters share — the governor's counterpart to ReadAheadGate.
+	// Mutually exclusive with AutoTune.
+	Admission *autotune.Tokens
 }
 
 // Validate normalizes the config and reports the first problem.
@@ -151,6 +161,9 @@ func (c *Config) Validate(datasetDims [4]int) error {
 	if c.Recovered != nil && c.Journal == nil {
 		return fmt.Errorf("pipeline: Recovered state set without a Journal to continue")
 	}
+	if c.AutoTune != nil && (c.ReadAheadGate != nil || c.Admission != nil) {
+		return fmt.Errorf("pipeline: AutoTune and an injected gate/admission would fight over the same knobs (set one)")
+	}
 	return nil
 }
 
@@ -174,11 +187,16 @@ func (c *Config) resumeSkip(chunker *volume.Chunker) (map[int]bool, error) {
 // zero-token limit would wedge the texture filters).
 const maxReadAheadDepth = 32
 
-// readAheadGate registers the reader prefetch knob with the controller and
-// returns the shared gate, or nil when autotuning is off. The gate starts
-// at the configured static depth (at least 1 — a gated reader is always
-// asynchronous) and may be resized across [1, maxReadAheadDepth] mid-run.
+// readAheadGate returns the resizable prefetch bound the readers share: the
+// injected governor gate when one is set, otherwise a gate registered with
+// the autotune controller, otherwise nil (fixed ReadAhead depth). An
+// autotune gate starts at the configured static depth (at least 1 — a gated
+// reader is always asynchronous) and may be resized across
+// [1, maxReadAheadDepth] mid-run.
 func (c *Config) readAheadGate() *readahead.Gate {
+	if c.ReadAheadGate != nil {
+		return c.ReadAheadGate
+	}
 	if c.AutoTune == nil {
 		return nil
 	}
@@ -189,10 +207,14 @@ func (c *Config) readAheadGate() *readahead.Gate {
 	return c.AutoTune.EnableReadAhead(start, 1, maxReadAheadDepth)
 }
 
-// admission registers the texture admission knob for copies compute slots
-// and returns the shared semaphore, or nil when autotuning is off or there
-// is only one slot (nothing to shed).
+// admission returns the compute-admission semaphore for copies compute
+// slots: the injected governor semaphore when one is set, otherwise one
+// registered with the autotune controller, otherwise nil (no admission
+// throttle; with one slot there is nothing to shed).
 func (c *Config) admission(copies int) *autotune.Tokens {
+	if c.Admission != nil {
+		return c.Admission
+	}
 	if c.AutoTune == nil || copies <= 1 {
 		return nil
 	}
@@ -511,15 +533,35 @@ type RunOptions struct {
 	// with Config.AutoTune at build time; a controller with no registered
 	// knobs observes but never tunes. Requires metrics.
 	AutoTune *autotune.Controller
+	// Monitor, when non-nil, runs alongside the engine for the life of the
+	// run with a live metrics probe — the export point for progress
+	// reporting (the serve daemon streams job snapshots through it). It is
+	// called on its own goroutine and must return when stop closes.
+	// Requires metrics; composes with AutoTune.
+	Monitor func(stop <-chan struct{}, p filter.Probe)
 }
 
-// monitor adapts the controller to the filter runtime's Monitor hook.
+// monitor merges the caller's Monitor hook with the autotune feedback loop
+// into the filter runtime's single Monitor slot.
 func (o *RunOptions) monitor() func(stop <-chan struct{}, p filter.Probe) {
-	if o.AutoTune == nil {
+	ctrl, user := o.AutoTune, o.Monitor
+	switch {
+	case ctrl == nil && user == nil:
 		return nil
+	case ctrl == nil:
+		return user
+	case user == nil:
+		return func(stop <-chan struct{}, p filter.Probe) { ctrl.Run(stop, p.Snapshot) }
 	}
-	ctrl := o.AutoTune
-	return func(stop <-chan struct{}, p filter.Probe) { ctrl.Run(stop, p.Snapshot) }
+	return func(stop <-chan struct{}, p filter.Probe) {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			user(stop, p)
+		}()
+		ctrl.Run(stop, p.Snapshot)
+		<-done
+	}
 }
 
 // Run executes a built graph on the selected engine.

@@ -1,0 +1,183 @@
+package readahead
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests pin the Gate's behavior when Resize races live traffic — the
+// situation the daemon's resource governor creates every time a job starts
+// or finishes and every running job's share is re-cut in place.
+
+// TestGateShrinkBelowInFlight pins the shrink semantics when the cut goes
+// below what is already outstanding: nothing is revoked, new admissions stop
+// entirely, and they resume only once the surplus drains below the new
+// limit.
+func TestGateShrinkBelowInFlight(t *testing.T) {
+	g := NewGate(8, 1, 16)
+	for i := 0; i < 8; i++ {
+		if !g.acquire(nil) {
+			t.Fatal("acquire within the limit blocked")
+		}
+	}
+	if d := g.Resize(2); d != 2 {
+		t.Fatalf("Resize(2) = %d", d)
+	}
+	admitted := make(chan bool, 1)
+	go func() { admitted <- g.acquire(nil) }()
+	mustBlock := func(when string) {
+		t.Helper()
+		select {
+		case <-admitted:
+			t.Fatalf("admission while at or over the shrunken limit (%s)", when)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	mustBlock("8 in flight, limit 2")
+	g.release(6) // drains to exactly the new limit: still no free credit
+	mustBlock("2 in flight, limit 2")
+	g.release(1) // 1 in flight < limit 2: the waiter gets the freed credit
+	select {
+	case ok := <-admitted:
+		if !ok {
+			t.Fatal("acquire returned false with no stop close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("draining below the shrunken limit did not admit the waiter")
+	}
+	g.release(2)
+}
+
+// TestGateGrowWakesAllBlocked parks several acquirers on a full gate and
+// grows it: every newly minted credit must be handed to a waiter, not just
+// the first one the broadcast happens to wake.
+func TestGateGrowWakesAllBlocked(t *testing.T) {
+	g := NewGate(1, 1, 16)
+	if !g.acquire(nil) {
+		t.Fatal("first acquire blocked")
+	}
+	const waiters = 5
+	admitted := make(chan bool, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { admitted <- g.acquire(nil) }()
+	}
+	time.Sleep(20 * time.Millisecond) // park them on the cond
+	g.Resize(1 + waiters)             // one held + one credit per waiter
+	for i := 0; i < waiters; i++ {
+		select {
+		case ok := <-admitted:
+			if !ok {
+				t.Fatal("woken acquire returned false")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d still blocked after grow", i)
+		}
+	}
+	g.release(1 + waiters)
+}
+
+// TestGateResizeDuringDrain closes stop in the middle of a resize storm:
+// every blocked acquirer must abort with false — none may stay wedged on
+// the cond — and every credit must come home. (The workers also poll stop
+// after each release: the fast acquire path deliberately admits without
+// checking stop, so a worker that keeps winning credits would otherwise
+// never observe the drain.)
+func TestGateResizeDuringDrain(t *testing.T) {
+	g := NewGate(2, 1, 8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g.acquire(stop) {
+				time.Sleep(time.Millisecond)
+				g.release(1)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	resizerDone := make(chan struct{})
+	go func() {
+		defer close(resizerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g.Resize(1 + i%8)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("an acquirer stayed wedged after stop closed mid-resize")
+	}
+	<-resizerDone
+	g.mu.Lock()
+	out := g.out
+	g.mu.Unlock()
+	if out != 0 {
+		t.Fatalf("%d credits leaked through the drain", out)
+	}
+}
+
+// TestGateConcurrentResizeStress whipsaws the limit across its whole range
+// under 2x oversubscribed traffic and checks the invariant no interleaving
+// may break: concurrent holders never exceed the gate's upper bound, and the
+// gate is at rest when the traffic stops.
+func TestGateConcurrentResizeStress(t *testing.T) {
+	const hi = 8
+	g := NewGate(hi, 1, hi)
+	stop := make(chan struct{})
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2*hi; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g.acquire(stop) {
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				cur.Add(-1)
+				g.release(1)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		g.Resize(1 + i%hi)
+	}
+	close(stop)
+	wg.Wait()
+	if p := peak.Load(); p > hi {
+		t.Fatalf("observed %d concurrent holders, upper bound is %d", p, hi)
+	}
+	g.mu.Lock()
+	out := g.out
+	g.mu.Unlock()
+	if out != 0 {
+		t.Fatalf("%d credits leaked through the stress run", out)
+	}
+}

@@ -1,0 +1,59 @@
+// Per-job event streams: a small fan-out hub feeding GET /jobs/{id}/events
+// subscribers. Publishing never blocks the scheduler or a runner — a
+// subscriber that cannot keep up loses intermediate progress events (each
+// carries cumulative counters, so nothing is miscounted) and always
+// receives state transitions via the buffered channel headroom.
+package server
+
+import "haralick4d/internal/metrics"
+
+// Event is one NDJSON line of a job's event stream.
+type Event struct {
+	// Type is "state" or "progress".
+	Type  string `json:"type"`
+	JobID int64  `json:"job_id"`
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	Kind  string `json:"error_kind,omitempty"`
+
+	Progress *metrics.Progress `json:"progress,omitempty"`
+}
+
+type subscriber struct {
+	jobID int64
+	ch    chan Event
+}
+
+type hub struct {
+	// Guarded by the server mutex (the hub has no lock of its own; every
+	// call site already holds it).
+	subs map[*subscriber]struct{}
+}
+
+func newHub() *hub { return &hub{subs: map[*subscriber]struct{}{}} }
+
+// subscribe registers a listener for one job's events. The caller must
+// eventually unsubscribe.
+func (h *hub) subscribe(jobID int64) *subscriber {
+	s := &subscriber{jobID: jobID, ch: make(chan Event, 64)}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+func (h *hub) unsubscribe(s *subscriber) {
+	delete(h.subs, s)
+}
+
+// publish fans an event out to the job's subscribers, dropping it for any
+// subscriber whose buffer is full.
+func (h *hub) publish(ev Event) {
+	for s := range h.subs {
+		if s.jobID != ev.JobID {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+		}
+	}
+}

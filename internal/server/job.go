@@ -1,0 +1,343 @@
+// Job model: the submitted analysis spec, the job state machine and the
+// failure taxonomy the daemon reports instead of dying.
+//
+// States and transitions:
+//
+//	          submit                 slot free
+//	(client) ───────▶ queued ─────────────────────▶ running
+//	                    │  cancel                      │
+//	                    ▼                              │ run returns
+//	                canceled ◀── reason=cancel ────────┤
+//	                 paused  ◀── reason=pause ─────────┤   (resume ▶ queued)
+//	                 parked  ◀── reason=park (drain) ──┤   (restart/resume ▶ queued)
+//	               completed ◀── err == nil ───────────┤
+//	                  failed ◀── otherwise ────────────┘   (resume ▶ queued)
+//
+// completed, failed and canceled are terminal for the daemon's scheduler;
+// failed, paused and parked can be re-queued by POST /jobs/{id}/resume, and
+// non-terminal jobs found in the journal on startup are re-admitted
+// automatically (paused ones stay paused — that state was asked for).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"haralick4d/internal/checkpoint"
+	"haralick4d/internal/core"
+	"haralick4d/internal/dataset"
+	"haralick4d/internal/fault"
+	"haralick4d/internal/features"
+	"haralick4d/internal/filter"
+	"haralick4d/internal/metrics"
+	"haralick4d/internal/pipeline"
+)
+
+// State is one node of the job lifecycle state machine.
+type State string
+
+// The seven job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StatePaused    State = "paused"    // client-requested stop; checkpointed, resumable
+	StateParked    State = "parked"    // drain-requested stop; re-admitted on restart
+	StateCompleted State = "completed" // terminal
+	StateFailed    State = "failed"    // terminal for the scheduler; resumable by the client
+	StateCanceled  State = "canceled"  // terminal
+)
+
+// Terminal reports whether the scheduler is done with a job in this state.
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCanceled
+}
+
+// valid reports whether s is one of the seven states (journal replay guard).
+func (s State) valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StatePaused, StateParked, StateCompleted, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// Spec is the client-submitted description of one analysis job. Zero-valued
+// fields select the same defaults the haralick4d CLI documents; string
+// enums reuse the CLI's flag vocabulary so a curl body reads like a flag
+// line.
+type Spec struct {
+	// Dataset is the dataset URL (directory path, file://, mem://,
+	// http(s)://). Required.
+	Dataset string `json:"dataset"`
+	// Output selects the sink: "uso" (default; unstitched parameter files,
+	// checkpointable), "jpeg" (stitched slice series; not checkpointable, so
+	// pause/park/crash restart this job from scratch) or "none" (collect and
+	// discard — smoke tests).
+	Output string `json:"output,omitempty"`
+	// OutDir receives the output files; empty picks a per-job directory
+	// under the daemon's state dir.
+	OutDir string `json:"out_dir,omitempty"`
+
+	ROI        [4]int   `json:"roi,omitempty"`            // default 16x16x3x3
+	ChunkShape [4]int   `json:"chunk,omitempty"`          // default: auto
+	GrayLevels int      `json:"gray,omitempty"`           // default 32
+	NDim       int      `json:"ndim,omitempty"`           // default 4
+	Distance   int      `json:"distance,omitempty"`       // default 1
+	Features   []string `json:"features,omitempty"`       // default: the paper's four
+	Impl       string   `json:"impl,omitempty"`           // hmp (default) | split
+	Rep        string   `json:"rep,omitempty"`            // full (default) | full-noskip | sparse
+	Policy     string   `json:"policy,omitempty"`         // demand-driven (default) | round-robin
+	Texture    int      `json:"texture,omitempty"`        // texture filter copies, default 4
+	KernelWkrs int      `json:"kernel_workers,omitempty"` // default 1
+	ReadAhead  int      `json:"readahead,omitempty"`      // seed depth; the governor resizes it live
+
+	FaultPolicy    string `json:"fault_policy,omitempty"` // fail-fast (default) | skip-degraded
+	CacheBlocks    int    `json:"cache_blocks,omitempty"`
+	CacheBlockSize int    `json:"cache_block_size,omitempty"`
+	StallTimeout   string `json:"stall_timeout,omitempty"` // e.g. "2m"; empty = the daemon default
+}
+
+// validate rejects a spec the runner could not execute, without touching
+// the dataset (that happens at run time and fails the job, not the submit).
+func (sp *Spec) validate() error {
+	if sp.Dataset == "" {
+		return fmt.Errorf("spec: dataset is required")
+	}
+	switch sp.Output {
+	case "", "uso", "jpeg", "none":
+	default:
+		return fmt.Errorf("spec: unknown output %q (uso, jpeg or none)", sp.Output)
+	}
+	if _, err := sp.impl(); err != nil {
+		return err
+	}
+	if sp.Rep != "" {
+		if _, err := core.ParseRepresentation(sp.Rep); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+	}
+	if sp.Policy != "" {
+		if p, err := filter.ParsePolicy(sp.Policy); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		} else if p == filter.Explicit {
+			return fmt.Errorf("spec: policy must be round-robin or demand-driven")
+		}
+	}
+	if sp.FaultPolicy != "" {
+		if _, err := fault.ParsePolicy(sp.FaultPolicy); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+	}
+	for _, name := range sp.Features {
+		if _, err := features.Parse(name); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+	}
+	if sp.Texture < 0 || sp.ReadAhead < 0 || sp.KernelWkrs < 0 ||
+		sp.CacheBlocks < 0 || sp.CacheBlockSize < 0 {
+		return fmt.Errorf("spec: counts must not be negative")
+	}
+	if _, err := sp.stallTimeout(0); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (sp *Spec) impl() (pipeline.Impl, error) {
+	if sp.Impl == "" {
+		return pipeline.HMPImpl, nil
+	}
+	im, err := pipeline.ParseImpl(sp.Impl)
+	if err != nil {
+		return 0, fmt.Errorf("spec: %w", err)
+	}
+	return im, nil
+}
+
+func (sp *Spec) stallTimeout(def time.Duration) (time.Duration, error) {
+	if sp.StallTimeout == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(sp.StallTimeout)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("spec: invalid stall_timeout %q", sp.StallTimeout)
+	}
+	return d, nil
+}
+
+// checkpointable reports whether the job's output mode supports a durable
+// progress journal (JPEG stitching holds no durable portions).
+func (sp *Spec) checkpointable() bool { return sp.Output != "jpeg" }
+
+// pipelineConfig translates the spec into the pipeline config and layout
+// the graph builder consumes, mirroring the CLI's placement scheme
+// (storage nodes first, then IIC, output, texture nodes).
+func (sp *Spec) pipelineConfig(storageNodes int) (*pipeline.Config, *pipeline.Layout, error) {
+	impl, err := sp.impl()
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep core.Representation
+	if sp.Rep != "" {
+		rep, _ = core.ParseRepresentation(sp.Rep)
+	}
+	policy := filter.DemandDriven
+	if sp.Policy != "" {
+		policy, _ = filter.ParsePolicy(sp.Policy)
+	}
+	var fpol fault.Policy
+	if sp.FaultPolicy != "" {
+		fpol, _ = fault.ParsePolicy(sp.FaultPolicy)
+	}
+	var feats []features.Feature
+	for _, name := range sp.Features {
+		f, _ := features.Parse(name)
+		feats = append(feats, f)
+	}
+	roi := sp.ROI
+	if roi == ([4]int{}) {
+		roi = [4]int{16, 16, 3, 3}
+	}
+	gray := sp.GrayLevels
+	if gray == 0 {
+		gray = 32
+	}
+	ndim := sp.NDim
+	if ndim == 0 {
+		ndim = 4
+	}
+	dist := sp.Distance
+	if dist == 0 {
+		dist = 1
+	}
+	kworkers := sp.KernelWkrs
+	if kworkers == 0 {
+		kworkers = 1
+	}
+	cfg := &pipeline.Config{
+		Analysis: core.Config{
+			ROI:            roi,
+			GrayLevels:     gray,
+			NDim:           ndim,
+			Distance:       dist,
+			Features:       feats,
+			Representation: rep,
+			Workers:        kworkers,
+		},
+		ChunkShape:  sp.ChunkShape,
+		ReadAhead:   sp.ReadAhead,
+		Impl:        impl,
+		Policy:      policy,
+		FaultPolicy: fpol,
+		OutDir:      sp.OutDir,
+	}
+	switch sp.Output {
+	case "", "uso":
+		cfg.Output = pipeline.OutputUSO
+	case "jpeg":
+		cfg.Output = pipeline.OutputJPEG
+	case "none":
+		cfg.Output = pipeline.OutputCollect
+		cfg.OutDir = ""
+	}
+	texture := sp.Texture
+	if texture <= 0 {
+		texture = 4
+	}
+	next := storageNodes
+	take := func(n int) []int {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = next
+			next++
+		}
+		return ids
+	}
+	layout := &pipeline.Layout{IICNodes: take(1), OutputNodes: take(1)}
+	tex := take(texture)
+	switch impl {
+	case pipeline.HMPImpl:
+		layout.HMPNodes = tex
+	case pipeline.SplitImpl:
+		layout.HCCNodes = tex
+		layout.HPCNodes = tex
+	}
+	return cfg, layout, nil
+}
+
+// Job is one tracked analysis. All mutable fields are guarded by the
+// server's mutex; the runner only touches them through server methods.
+type Job struct {
+	ID    int64
+	Spec  Spec
+	State State
+	// Err/ErrKind describe the last failure (State failed, or the abort
+	// reason recorded for paused/parked).
+	Err     string
+	ErrKind string
+	// Resume marks that the next run should reopen the job's checkpoint.
+	Resume bool
+	// Progress is the latest live snapshot summary while running.
+	Progress metrics.Progress
+	// Report is the structured run report of the last completed run.
+	Report *metrics.RunReport
+	// Restart summarizes what a resumed run recovered.
+	Restart *pipeline.RestartSummary
+
+	// Runtime control, set while State is running.
+	cancel context.CancelFunc
+	reason string // "", "cancel", "pause", "park": why cancel() was called
+}
+
+// view is the JSON shape of a job in API responses.
+type view struct {
+	ID       int64                    `json:"id"`
+	State    State                    `json:"state"`
+	Spec     Spec                     `json:"spec"`
+	Error    string                   `json:"error,omitempty"`
+	ErrKind  string                   `json:"error_kind,omitempty"`
+	Resume   bool                     `json:"resume,omitempty"`
+	Progress *metrics.Progress        `json:"progress,omitempty"`
+	Report   *metrics.RunReport       `json:"report,omitempty"`
+	Restart  *pipeline.RestartSummary `json:"restart,omitempty"`
+}
+
+// snapshotView renders the job for the API. Caller holds the server mutex.
+func (j *Job) snapshotView() view {
+	v := view{
+		ID: j.ID, State: j.State, Spec: j.Spec,
+		Error: j.Err, ErrKind: j.ErrKind, Resume: j.Resume,
+		Report: j.Report, Restart: j.Restart,
+	}
+	if j.Progress != (metrics.Progress{}) {
+		p := j.Progress
+		v.Progress = &p
+	}
+	return v
+}
+
+// errKind maps a run error onto the daemon's failure taxonomy — the typed
+// states the API reports instead of an opaque string (or a dead daemon).
+func errKind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, filter.ErrStalled):
+		return "stalled"
+	case errors.Is(err, filter.ErrAllCopiesDead):
+		return "all_copies_dead"
+	case errors.Is(err, dataset.ErrBackendUnavailable):
+		return "backend_unavailable"
+	case errors.Is(err, dataset.ErrDegradedData):
+		return "degraded_data"
+	case errors.Is(err, checkpoint.ErrMismatch):
+		return "checkpoint_mismatch"
+	case errors.Is(err, checkpoint.ErrCorrupt):
+		return "checkpoint_corrupt"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	}
+	return "error"
+}

@@ -1,0 +1,649 @@
+// Package server implements the haralick4d analysis daemon: an HTTP/JSON
+// control plane over the filter-stream pipeline that runs many analyses
+// concurrently against one shared resource budget.
+//
+// The control API:
+//
+//	POST /jobs              submit a Spec          → 202 + job, 429 when saturated
+//	GET  /jobs              list jobs
+//	GET  /jobs/{id}         one job + live progress / final report
+//	GET  /jobs/{id}/events  NDJSON stream of state + progress events
+//	POST /jobs/{id}/cancel  abort (queued, running, paused or parked)
+//	POST /jobs/{id}/pause   checkpoint and stop; resumable
+//	POST /jobs/{id}/resume  re-queue a paused/parked/failed job
+//	GET  /healthz           liveness ("ok" / "draining")
+//	GET  /stats             scheduler + governor counters
+//
+// Robustness contract: every submission and state transition is appended
+// to a CRC-framed job journal before the API acknowledges it, so a daemon
+// killed with SIGKILL restarts with the same job table, re-admits the jobs
+// that were queued, running or parked, and resumes each from its per-job
+// checkpoint — producing output bit-identical to an uninterrupted run.
+// SIGTERM takes the graceful path: Drain stops admissions, parks running
+// jobs (cancel + checkpoint), and returns once they are journaled.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"haralick4d/internal/checkpoint"
+	"haralick4d/internal/metrics"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (e.g. "localhost:7474").
+	Addr string
+	// StateDir holds the job journal, per-job checkpoints and default
+	// output directories. Required.
+	StateDir string
+	// MaxJobs bounds concurrently running jobs (default 2).
+	MaxJobs int
+	// MaxQueue bounds the admission queue; a submit beyond it is shed with
+	// 429 + Retry-After (default 16).
+	MaxQueue int
+	// TotalReadAhead / TotalWorkers are the global budgets the governor
+	// splits across running jobs (defaults: 64 read-ahead credits,
+	// GOMAXPROCS compute slots).
+	TotalReadAhead int
+	TotalWorkers   int
+	// JobReadAhead / JobWorkers cap any single job's share (defaults: 16,
+	// GOMAXPROCS).
+	JobReadAhead int
+	JobWorkers   int
+	// DrainTimeout bounds how long Drain waits for running jobs to park
+	// (default 30s).
+	DrainTimeout time.Duration
+	// StallTimeout is the per-job watchdog default when a spec leaves
+	// stall_timeout empty; 0 disables.
+	StallTimeout time.Duration
+	// ProgressInterval is the live-progress sampling cadence (default 500ms).
+	ProgressInterval time.Duration
+	// SyncInterval is the job journal's fsync cadence (default 1s).
+	SyncInterval time.Duration
+	// Logf sinks daemon logs (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() error {
+	if c.StateDir == "" {
+		return fmt.Errorf("server: StateDir is required")
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.TotalReadAhead <= 0 {
+		c.TotalReadAhead = 64
+	}
+	if c.TotalWorkers <= 0 {
+		c.TotalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobReadAhead <= 0 {
+		c.JobReadAhead = 16
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return nil
+}
+
+// Server is one daemon instance.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[int64]*Job
+	order    []int64 // submission order, for listing
+	queue    []int64 // admitted, waiting for a run slot
+	running  int
+	nextID   int64
+	draining bool
+	closed   bool
+
+	jour *checkpoint.Log
+	gov  *governor
+	hub  *hub
+	wg   sync.WaitGroup // one per running job
+}
+
+// New opens (or creates) the daemon state under cfg.StateDir, replays the
+// job journal, re-admits recovered in-flight jobs and starts as many as
+// the scheduler allows. The caller serves s.Handler() and must Close.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, err
+	}
+	jour, recovered, nextID, err := openJournal(filepath.Join(cfg.StateDir, "jobs.journal"), cfg.SyncInterval)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		jobs:   map[int64]*Job{},
+		nextID: nextID,
+		jour:   jour,
+		gov: newGovernor(budgets{
+			TotalReadAhead: cfg.TotalReadAhead,
+			TotalWorkers:   cfg.TotalWorkers,
+			JobReadAhead:   cfg.JobReadAhead,
+			JobWorkers:     cfg.JobWorkers,
+		}),
+		hub: newHub(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range recovered {
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		switch j.State {
+		case StateRunning, StateParked:
+			// In flight when the last life ended (SIGKILL, or a drain that
+			// parked it): re-admit, resuming from the per-job checkpoint
+			// when the output mode can honour one.
+			j.State = StateQueued
+			j.Resume = j.Spec.checkpointable()
+			if err := appendState(s.jour, j); err != nil {
+				s.cfg.Logf("server: journal: %v", err)
+			}
+			s.queue = append(s.queue, j.ID)
+			s.cfg.Logf("server: recovered job %d (re-queued, resume=%v)", j.ID, j.Resume)
+		case StateQueued:
+			s.queue = append(s.queue, j.ID)
+			s.cfg.Logf("server: recovered job %d (queued)", j.ID)
+		}
+	}
+	s.scheduleLocked()
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/pause", s.handlePause)
+	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// ListenAndServe serves the API on cfg.Addr until ctx is canceled, then
+// drains and shuts down. It logs the bound address, so Addr may use port 0.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.Logf("server: listening on http://%s", ln.Addr())
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("server: shutdown requested, draining (timeout %v)", s.cfg.DrainTimeout)
+	derr := s.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(sctx)
+	if cerr := s.closeJournal(); derr == nil {
+		derr = cerr
+	}
+	return derr
+}
+
+// Drain stops admissions, parks every running job (cancel + checkpoint)
+// and waits up to DrainTimeout for them to reach a journaled state.
+// Queued jobs stay queued in the journal and restart with the next life.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	s.draining = true
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State == StateRunning && j.cancel != nil {
+			j.reason = "park"
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return s.jour.Sync()
+	case <-time.After(s.cfg.DrainTimeout):
+		return fmt.Errorf("server: drain timed out after %v with jobs still running", s.cfg.DrainTimeout)
+	}
+}
+
+// Close drains and closes the journal. Safe to call twice.
+func (s *Server) Close() error {
+	err := s.Drain()
+	if cerr := s.closeJournal(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Server) closeJournal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.jour.Close()
+}
+
+// ---- scheduling ----
+
+// scheduleLocked starts queued jobs while run slots are free. Caller holds
+// the mutex.
+func (s *Server) scheduleLocked() {
+	for !s.draining && s.running < s.cfg.MaxJobs && len(s.queue) > 0 {
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		j := s.jobs[id]
+		if j == nil || j.State != StateQueued {
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j.State = StateRunning
+		j.reason = ""
+		j.cancel = cancel
+		j.Progress = metrics.Progress{}
+		s.journalStateLocked(j)
+		s.running++
+		gr := s.gov.admit(j.ID)
+		in := runInput{
+			spec:             j.Spec,
+			resume:           j.Resume,
+			outDir:           s.outDir(j),
+			stallTimeout:     s.cfg.StallTimeout,
+			progressInterval: s.cfg.ProgressInterval,
+			gate:             gr,
+		}
+		if j.Spec.checkpointable() {
+			in.ckptPath = filepath.Join(s.cfg.StateDir, fmt.Sprintf("job-%d.ckpt", j.ID))
+		}
+		in.onProgress = func(p metrics.Progress) { s.setProgress(id, p) }
+		s.wg.Add(1)
+		go s.run(j, ctx, in)
+	}
+}
+
+// outDir resolves a job's output directory.
+func (s *Server) outDir(j *Job) string {
+	if j.Spec.Output == "none" {
+		return ""
+	}
+	if j.Spec.OutDir != "" {
+		return j.Spec.OutDir
+	}
+	return filepath.Join(s.cfg.StateDir, "out", fmt.Sprintf("job-%d", j.ID))
+}
+
+// run hosts one job's runner goroutine and records its final transition.
+func (s *Server) run(j *Job, ctx context.Context, in runInput) {
+	defer s.wg.Done()
+	res, err := runJob(ctx, in)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	s.gov.release(j.ID)
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.State = StateCompleted
+		j.Err, j.ErrKind = "", ""
+		j.Resume = false
+		j.Report = res.report
+		if res.restart != nil {
+			j.Restart = res.restart
+		}
+	case j.reason == "cancel":
+		j.State = StateCanceled
+		j.Err, j.ErrKind = err.Error(), "canceled"
+		j.Resume = false
+	case j.reason == "pause":
+		j.State = StatePaused
+		j.Err, j.ErrKind = "", ""
+		j.Resume = j.Spec.checkpointable()
+	case j.reason == "park":
+		j.State = StateParked
+		j.Err, j.ErrKind = "", ""
+		j.Resume = j.Spec.checkpointable()
+	default:
+		j.State = StateFailed
+		j.Err, j.ErrKind = err.Error(), errKind(err)
+		j.Resume = j.Spec.checkpointable()
+		s.cfg.Logf("server: job %d failed (%s): %v", j.ID, j.ErrKind, err)
+	}
+	s.journalStateLocked(j)
+	s.scheduleLocked()
+}
+
+// setProgress records a live snapshot summary and fans it out.
+func (s *Server) setProgress(id int64, p metrics.Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil || j.State != StateRunning {
+		return
+	}
+	j.Progress = p
+	s.hub.publish(Event{Type: "progress", JobID: id, State: j.State, Progress: &p})
+}
+
+// journalStateLocked appends a state record and publishes the transition.
+// Journal failures are logged, not fatal: the in-memory state machine stays
+// authoritative for this life, and the next restart surfaces the gap.
+func (s *Server) journalStateLocked(j *Job) {
+	if err := appendState(s.jour, j); err != nil {
+		s.cfg.Logf("server: journal: %v", err)
+	}
+	s.hub.publish(Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Err, Kind: j.ErrKind})
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	body := io.LimitReader(r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	if err := spec.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "draining: no new admissions")
+		return
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		// Bounded-queue admission control: shed this submit instead of
+		// degrading every running job.
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "queue full (%d queued, %d running)", s.cfg.MaxQueue, s.cfg.MaxJobs)
+		return
+	}
+	j := &Job{ID: s.nextID, Spec: spec, State: StateQueued}
+	if err := appendSubmit(s.jour, j); err != nil {
+		// An unjournaled job would vanish on restart; refuse it.
+		s.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, "journal: %v", err)
+		return
+	}
+	s.nextID++
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.queue = append(s.queue, j.ID)
+	s.hub.publish(Event{Type: "state", JobID: j.ID, State: j.State})
+	s.scheduleLocked()
+	v := j.snapshotView()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]view, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].snapshotView())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	v := j.snapshotView()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.State {
+	case StateQueued:
+		s.dequeueLocked(j.ID)
+		j.State = StateCanceled
+		s.journalStateLocked(j)
+		writeJSONLocked(w, http.StatusOK, j.snapshotView())
+	case StateRunning:
+		j.reason = "cancel"
+		j.cancel()
+		writeJSONLocked(w, http.StatusAccepted, j.snapshotView())
+	case StatePaused, StateParked:
+		j.State = StateCanceled
+		j.Resume = false
+		s.journalStateLocked(j)
+		writeJSONLocked(w, http.StatusOK, j.snapshotView())
+	default:
+		httpError(w, http.StatusConflict, "job %d is %s", j.ID, j.State)
+	}
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.State {
+	case StateQueued:
+		s.dequeueLocked(j.ID)
+		j.State = StatePaused
+		s.journalStateLocked(j)
+		writeJSONLocked(w, http.StatusOK, j.snapshotView())
+	case StateRunning:
+		j.reason = "pause"
+		j.cancel()
+		writeJSONLocked(w, http.StatusAccepted, j.snapshotView())
+	default:
+		httpError(w, http.StatusConflict, "job %d is %s", j.ID, j.State)
+	}
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		httpError(w, http.StatusServiceUnavailable, "draining: no new admissions")
+		return
+	}
+	switch j.State {
+	case StatePaused, StateParked, StateFailed:
+		j.State = StateQueued
+		j.Resume = j.Spec.checkpointable()
+		s.journalStateLocked(j)
+		s.queue = append(s.queue, j.ID)
+		s.scheduleLocked()
+		writeJSONLocked(w, http.StatusAccepted, j.snapshotView())
+	default:
+		httpError(w, http.StatusConflict, "job %d is %s", j.ID, j.State)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+
+	s.mu.Lock()
+	sub := s.hub.subscribe(j.ID)
+	first := Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Err, Kind: j.ErrKind}
+	if j.Progress != (metrics.Progress{}) {
+		p := j.Progress
+		first.Progress = &p
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.hub.unsubscribe(sub)
+		s.mu.Unlock()
+	}()
+
+	send := func(ev Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		// The stream ends at a terminal state; a cancel's final
+		// transition arrives through the hub like any other.
+		return !(ev.Type == "state" && ev.State.Terminal())
+	}
+	if !send(first) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub.ch:
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type stats struct {
+		Jobs      map[State]int `json:"jobs"`
+		QueueLen  int           `json:"queue_len"`
+		Running   int           `json:"running"`
+		MaxJobs   int           `json:"max_jobs"`
+		MaxQueue  int           `json:"max_queue"`
+		Draining  bool          `json:"draining"`
+		ShareRA   int           `json:"job_share_readahead"`
+		ShareWork int           `json:"job_share_workers"`
+	}
+	st := stats{Jobs: map[State]int{}}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		st.Jobs[j.State]++
+	}
+	st.QueueLen = len(s.queue)
+	st.Running = s.running
+	st.MaxJobs = s.cfg.MaxJobs
+	st.MaxQueue = s.cfg.MaxQueue
+	st.Draining = s.draining
+	s.mu.Unlock()
+	st.ShareRA, st.ShareWork, _ = s.gov.shares()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// ---- small helpers ----
+
+// lookup resolves {id}; it writes the error response itself on failure.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid job id %q", r.PathValue("id"))
+		return nil, false
+	}
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no job %d", id)
+		return nil, false
+	}
+	return j, true
+}
+
+// dequeueLocked removes a job id from the admission queue.
+func (s *Server) dequeueLocked(id int64) {
+	for i, q := range s.queue {
+		if q == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeJSONLocked is writeJSON for call sites holding the server mutex —
+// the value is already a snapshot, the name just documents the invariant.
+func writeJSONLocked(w http.ResponseWriter, code int, v any) { writeJSON(w, code, v) }
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

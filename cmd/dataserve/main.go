@@ -4,6 +4,12 @@
 // over http.FileServer (which already answers ranged GETs), plus an optional
 // request log and a -ready file the CI smoke test polls instead of sleeping.
 //
+// For resilience testing it can also misbehave on demand: -fail-rate
+// injects deterministic seeded 503s, -latency delays every response, and
+// -blackout takes the server down (503 + Retry-After) for a fixed window —
+// the knobs the brownout smoke tests drive the client's circuit breaker,
+// retry budget and hedging with.
+//
 // Example:
 //
 //	dataserve -dir /data/study1 -addr localhost:8171 &
@@ -13,17 +19,84 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// faultInjector decides per request whether to serve an injected failure.
+// All decisions are deterministic: -fail-rate draws from a seeded PRNG in
+// request-arrival order, and -blackout is a fixed request-count window, so
+// a test replaying the same request sequence sees the same faults.
+type faultInjector struct {
+	failRate float64
+	latency  time.Duration
+
+	blackoutStart int64 // request ordinal opening the blackout; 0 = off
+	blackoutLen   int64 // requests the blackout spans
+
+	reqs atomic.Int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// inject reports whether this request should fail, and with what
+// Retry-After hint (seconds; 0 = none).
+func (fi *faultInjector) inject() (fail bool, retryAfter int) {
+	n := fi.reqs.Add(1)
+	if fi.blackoutStart > 0 && n >= fi.blackoutStart && n < fi.blackoutStart+fi.blackoutLen {
+		// Hint the remaining window length, in whole requests — the client
+		// treats it as seconds; capped so a long window doesn't advertise an
+		// hour-scale wait (clients bound it too, but the hint should be sane).
+		after := fi.blackoutStart + fi.blackoutLen - n
+		if after > 60 {
+			after = 60
+		}
+		return true, int(after)
+	}
+	if fi.failRate > 0 {
+		fi.mu.Lock()
+		roll := fi.rng.Float64()
+		fi.mu.Unlock()
+		if roll < fi.failRate {
+			return true, 0
+		}
+	}
+	return false, 0
+}
+
+func (fi *faultInjector) wrap(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fi.latency > 0 {
+			time.Sleep(fi.latency)
+		}
+		if fail, after := fi.inject(); fail {
+			if after > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(after))
+			}
+			http.Error(w, "dataserve: injected failure", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "dataset directory to serve (required)")
-		addr    = flag.String("addr", "localhost:0", "listen address; port 0 picks a free port")
-		ready   = flag.String("ready", "", "after listening, write the bound address to this file (for scripts)")
-		logReqs = flag.Bool("log", false, "log every request to stderr")
+		dir      = flag.String("dir", "", "dataset directory to serve (required)")
+		addr     = flag.String("addr", "localhost:0", "listen address; port 0 picks a free port")
+		ready    = flag.String("ready", "", "after listening, write the bound address to this file (for scripts)")
+		logReqs  = flag.Bool("log", false, "log every request to stderr")
+		failRate = flag.Float64("fail-rate", 0, "FAULT INJECTION: fail this fraction of requests with 503, drawn from the -seed PRNG in arrival order (0 = off)")
+		latency  = flag.Duration("latency", 0, "FAULT INJECTION: delay every response by this duration (0 = off)")
+		blackout = flag.String("blackout", "", "FAULT INJECTION: \"start,count\" — answer 503 + Retry-After to requests start..start+count-1 (1-based arrival order; empty = off)")
+		seed     = flag.Int64("seed", 1, "PRNG seed for -fail-rate (fixed default keeps runs reproducible)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -35,8 +108,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dataserve: %v\n", err)
 		os.Exit(1)
 	}
+	if *failRate < 0 || *failRate > 1 {
+		fmt.Fprintf(os.Stderr, "dataserve: -fail-rate must be in [0,1], got %g\n", *failRate)
+		os.Exit(2)
+	}
+	fi := &faultInjector{
+		failRate: *failRate,
+		latency:  *latency,
+		rng:      rand.New(rand.NewSource(*seed)),
+	}
+	if *blackout != "" {
+		var start, count int64
+		if _, err := fmt.Sscanf(*blackout, "%d,%d", &start, &count); err != nil || start < 1 || count < 1 {
+			fmt.Fprintf(os.Stderr, "dataserve: invalid -blackout %q (want \"start,count\" with both >= 1)\n", *blackout)
+			os.Exit(2)
+		}
+		fi.blackoutStart, fi.blackoutLen = start, count
+	}
 
 	var h http.Handler = http.FileServer(http.Dir(*dir))
+	if *failRate > 0 || *latency > 0 || fi.blackoutStart > 0 {
+		h = fi.wrap(h)
+	}
 	if *logReqs {
 		inner := h
 		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

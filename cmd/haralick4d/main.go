@@ -131,6 +131,11 @@ func main() {
 		codecS   = flag.String("wire-codec", "binary", "TCP wire codec: binary or gob")
 		retryS   = flag.String("retry", "", "TCP link retry policy \"attempts[,base[,max]]\", e.g. \"5,10ms,1s\" (empty = single-shot sends)")
 		faultS   = flag.String("fault-policy", "fail-fast", "degraded-slice handling: fail-fast or skip-degraded")
+		brkS     = flag.String("breaker", "", "circuit breaker \"consec[,open-for[,window,error-rate]]\" for backend calls and TCP links, e.g. \"5,2s\" (empty = off)")
+		budgetS  = flag.String("retry-budget", "", "shared retry budget \"tokens[,ratio]\" capping total retries against a sick dependency, e.g. \"10,0.1\" (empty = unbounded)")
+		hedgeS   = flag.String("hedge-after", "", "launch a second backend range read if the first has not answered within this duration, e.g. 200ms (empty = off)")
+		staleF   = flag.Bool("serve-stale", false, "while the backend breaker is open, degrade unavailable slices instead of failing the run (requires -fault-policy skip-degraded)")
+		deadS    = flag.String("deadline", "", "wall-clock budget for the whole run, e.g. 10m; propagated as a context deadline into every backend read (empty = none)")
 		texture  = flag.Int("texture", 4, "texture filter copies (HMP, or HCC+HPC pairs for split)")
 		kworkers = flag.Int("kernel-workers", 1, "intra-chunk kernel workers per texture filter copy (0 = all CPUs, 1 = sequential reference kernel)")
 		kernelS  = flag.String("kernel", "auto", "parallel-scan GLCM kernel: auto (blocked when supported), blocked, legacy")
@@ -213,6 +218,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
+	}
+	respol, deadline, err := cliflags.ParseResilienceFlags(*brkS, *budgetS, *hedgeS, *deadS)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "haralick4d: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *staleF && faultPolicy != fault.SkipDegraded {
+		fmt.Fprintln(os.Stderr, "haralick4d: -serve-stale requires -fault-policy skip-degraded (stale reads surface as degraded slices)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	uopts.ResiliencePolicy = respol
+	uopts.ServeStale = *staleF
+	if respol != nil && retry != nil {
+		// The same flag-level policy arms the TCP links: each ordered node
+		// pair gets its own breaker and retry budget.
+		retry.PairBudget = respol.Budget
+		retry.PairBreaker = respol.Breaker
 	}
 	tuneInterval, err := parseAutoTuneFlags(*tuneF, *tuneIntS, *tuneSeed, engine)
 	if err != nil {
@@ -395,6 +419,13 @@ func main() {
 	// flushed instead of dying mid-frame.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if deadline > 0 {
+		// The -deadline budget rides the same context as ^C/SIGTERM, so an
+		// overrunning run cancels exactly like an interrupted one.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 	rs, err := pipeline.RunContext(ctx, g, engine, &pipeline.RunOptions{
 		WireCodec:    codec,
 		Retry:        retry,

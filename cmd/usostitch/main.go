@@ -35,6 +35,7 @@ func main() {
 		out     = flag.String("out", "", "output directory for JPEG series (required)")
 		dimsS   = flag.String("dims", "", "output (parameter map) dimensions XxYxZxT (required)")
 		quality = flag.Int("quality", 90, "JPEG quality")
+		rangeS  = flag.String("range", "", "fixed \"lo,hi\" grayscale normalization for every feature instead of per-feature min/max; makes stitched bytes comparable between runs that filled different voxel subsets (e.g. a degraded run vs its oracle)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" || *dimsS == "" {
@@ -62,9 +63,21 @@ func main() {
 	sort.Slice(feats, func(i, j int) bool { return feats[i] < feats[j] })
 
 	total := 0
+	var fixedLo, fixedHi float64
+	useFixed := false
+	if *rangeS != "" {
+		if _, err := fmt.Sscanf(*rangeS, "%f,%f", &fixedLo, &fixedHi); err != nil || fixedHi <= fixedLo {
+			fail("invalid -range %q (want \"lo,hi\" with hi > lo)", *rangeS)
+		}
+		useFixed = true
+	}
+
 	for _, ft := range feats {
 		g := grids[ft]
 		lo, hi := g.MinMax()
+		if useFixed {
+			lo, hi = fixedLo, fixedHi
+		}
 		scale := 0.0
 		if hi > lo {
 			scale = 255 / (hi - lo)

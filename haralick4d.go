@@ -33,6 +33,7 @@ import (
 	"haralick4d/internal/filter"
 	"haralick4d/internal/metrics"
 	"haralick4d/internal/pipeline"
+	"haralick4d/internal/resilience"
 	"haralick4d/internal/synthetic"
 	"haralick4d/internal/volume"
 )
@@ -210,6 +211,23 @@ type Options struct {
 	// CacheBlockSize is the cache's block granularity in bytes; 0 selects
 	// the 128 KiB default. Requires CacheBlocks > 0.
 	CacheBlockSize int
+	// Resilience arms failure-control on the dataset backend (AnalyzeDataset
+	// only): a circuit breaker fast-failing calls while the backend is sick,
+	// a shared retry budget capping total retry traffic, and hedged range
+	// reads for tail latency. Nil — the default — keeps the plain retry
+	// behavior. Most useful with remote (http) dataset URLs.
+	Resilience *ResiliencePolicy
+	// ServeStale, while the backend breaker is open, converts unavailable
+	// slice reads into degraded slices (still served from cache when a
+	// block-cache holds them) instead of failing the run. Requires
+	// FaultPolicy SkipDegraded, which is what makes degraded slices
+	// survivable. AnalyzeDataset only.
+	ServeStale bool
+	// Deadline bounds the whole analysis in wall-clock time (AnalyzeDataset
+	// only): it is propagated as a context deadline into every backend read,
+	// so an overrunning run fails with context.DeadlineExceeded instead of
+	// hanging. 0 disables.
+	Deadline time.Duration
 	// AutoTune runs the online feedback controller during the pipeline run:
 	// reader prefetch depth and texture compute admission are resized live
 	// from periodic progress snapshots (hill climbing with hysteresis), and
@@ -365,6 +383,20 @@ func (o *Options) validateBackend() error {
 	return nil
 }
 
+// validateResilience checks the resilience option subset.
+func (o *Options) validateResilience() error {
+	if o == nil {
+		return nil
+	}
+	if o.Deadline < 0 {
+		return fmt.Errorf("haralick4d: Deadline must not be negative")
+	}
+	if o.ServeStale && o.FaultPolicy != SkipDegraded {
+		return fmt.Errorf("haralick4d: ServeStale requires FaultPolicy SkipDegraded (stale reads surface as degraded slices)")
+	}
+	return nil
+}
+
 // validateRestart checks the checkpoint/watchdog option subset.
 func (o *Options) validateRestart() error {
 	if o == nil {
@@ -425,6 +457,12 @@ const (
 
 // RetryPolicy bounds transport retries (see internal/filter.RetryPolicy).
 type RetryPolicy = filter.RetryPolicy
+
+// ResiliencePolicy configures the failure-control primitives — circuit
+// breaker, shared retry budget, hedged reads (see
+// internal/resilience.Policy). Parse flag-style specs with
+// resilience.ParseBreaker / resilience.ParseBudget.
+type ResiliencePolicy = resilience.Policy
 
 // Typed failures an analysis can return; match with errors.Is.
 var (
@@ -651,10 +689,20 @@ func AnalyzeDatasetContext(ctx context.Context, url string, opts *Options) (*Res
 	if err := opts.validateProgress(); err != nil {
 		return nil, err
 	}
+	if err := opts.validateResilience(); err != nil {
+		return nil, err
+	}
 	uopts := &dataset.URLOptions{}
 	if opts != nil {
 		uopts.CacheBlocks = opts.CacheBlocks
 		uopts.CacheBlockSize = opts.CacheBlockSize
+		uopts.ResiliencePolicy = opts.Resilience
+		uopts.ServeStale = opts.ServeStale
+		if opts.Deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+			defer cancel()
+		}
 	}
 	st, err := dataset.OpenURL(ctx, url, uopts)
 	if err != nil {

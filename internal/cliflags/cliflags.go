@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"haralick4d/internal/dataset"
+	"haralick4d/internal/resilience"
 )
 
 // ParseRestartFlags validates the checkpoint/restart and watchdog flag
@@ -66,6 +67,40 @@ func ParseBackendFlags(url string, cacheBlocks, cacheBlockSize int) (*dataset.UR
 	return &dataset.URLOptions{CacheBlocks: cacheBlocks, CacheBlockSize: cacheBlockSize}, nil
 }
 
+// ParseResilienceFlags validates the resilience flag subset shared by the
+// analysis CLI and the daemon: -breaker "consec[,open-for[,window,rate]]",
+// -retry-budget "tokens[,ratio]", -hedge-after and -deadline duration
+// strings. Empty strings disable each primitive; a policy with nothing
+// enabled comes back nil so callers can pass it straight through. Violations
+// are usage errors — the CLIs print them with flag.Usage() and exit 2.
+func ParseResilienceFlags(breakerS, budgetS, hedgeS, deadlineS string) (pol *resilience.Policy, deadline time.Duration, err error) {
+	var p resilience.Policy
+	if p.Breaker, err = resilience.ParseBreaker(breakerS); err != nil {
+		return nil, 0, fmt.Errorf("-breaker: %v", err)
+	}
+	if p.Budget, err = resilience.ParseBudget(budgetS); err != nil {
+		return nil, 0, fmt.Errorf("-retry-budget: %v", err)
+	}
+	if hedgeS != "" && hedgeS != "0" {
+		d, perr := time.ParseDuration(hedgeS)
+		if perr != nil || d <= 0 {
+			return nil, 0, fmt.Errorf("invalid -hedge-after %q (want a positive duration like 200ms)", hedgeS)
+		}
+		p.HedgeAfter = d
+	}
+	if deadlineS != "" && deadlineS != "0" {
+		d, perr := time.ParseDuration(deadlineS)
+		if perr != nil || d <= 0 {
+			return nil, 0, fmt.Errorf("invalid -deadline %q (want a positive duration like 10m)", deadlineS)
+		}
+		deadline = d
+	}
+	if p.Enabled() {
+		pol = &p
+	}
+	return pol, deadline, nil
+}
+
 // ServeFlags is the validated `haralick4d serve` flag set.
 type ServeFlags struct {
 	Addr           string
@@ -78,6 +113,9 @@ type ServeFlags struct {
 	JobWorkers     int
 	DrainTimeout   time.Duration
 	StallTimeout   time.Duration
+	// Resilience is filled by the caller from ParseResilienceFlags; it is
+	// carried here so the serve path hands one struct to server.Config.
+	Resilience *resilience.Policy
 }
 
 // ParseServeFlags validates the daemon flag subset and converts the

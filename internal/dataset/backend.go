@@ -92,6 +92,19 @@ type Stats struct {
 	CacheMisses     int64 `json:"cache_misses,omitempty"`
 	CacheEvictions  int64 `json:"cache_evictions,omitempty"`
 	CacheFetchBytes int64 `json:"cache_fetch_bytes,omitempty"`
+	// Resilience counters, populated when the backend carries a
+	// resilience.Set (URLOptions.Resilience / ResiliencePolicy): circuit
+	// breaker state and transition counts, shared-retry-budget spend, and
+	// hedged-read outcomes. StaleReads counts unavailable reads converted
+	// to degraded by the serve-stale layer.
+	BreakerState      string `json:"breaker_state,omitempty"`
+	BreakerTrips      int64  `json:"breaker_trips,omitempty"`
+	BreakerProbes     int64  `json:"breaker_probes,omitempty"`
+	RetryBudgetSpent  int64  `json:"retry_budget_spent,omitempty"`
+	RetryBudgetDenied int64  `json:"retry_budget_denied,omitempty"`
+	HedgedReads       int64  `json:"hedged_reads,omitempty"`
+	HedgeWins         int64  `json:"hedge_wins,omitempty"`
+	StaleReads        int64  `json:"stale_reads,omitempty"`
 }
 
 // counters is the atomic counter set every backend embeds.

@@ -6,15 +6,24 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"haralick4d/internal/resilience"
 )
 
 // DefaultHTTPAttempts is the per-request try budget of the HTTP backend:
 // transient transport failures and server errors are retried with a short
 // linear backoff before the read is reported ErrBackendUnavailable.
 const DefaultHTTPAttempts = 3
+
+// maxServerBackoff bounds a server-directed Retry-After wait when the
+// context carries no deadline: a confused (or hostile) server must not be
+// able to park one attempt for minutes. With a deadline, the tighter of the
+// two bounds applies.
+const maxServerBackoff = 2 * time.Second
 
 // HTTPBackend serves a dataset from a remote HTTP(S) server using range
 // reads — an object-store-style remote: the server only needs to answer
@@ -31,6 +40,52 @@ type HTTPBackend struct {
 	// handle reuse.
 	sizes sync.Map // url -> int64
 	c     counters
+	// res is the backend's resilience set: breaker gating every request,
+	// shared budget funding retries, hedger racing slow range reads. Nil
+	// leaves the plain retry loop untouched.
+	res *resilience.Set
+}
+
+// SetResilience attaches a resilience set to the backend. Call before
+// serving reads. The set may be shared across backends hitting the same
+// host — the daemon's per-host registry does exactly that, so one sick host
+// is capped by one breaker and one retry budget no matter how many jobs
+// read from it.
+func (b *HTTPBackend) SetResilience(s *resilience.Set) { b.res = s }
+
+func (b *HTTPBackend) breaker() *resilience.Breaker {
+	if b.res == nil {
+		return nil
+	}
+	return b.res.Breaker
+}
+
+func (b *HTTPBackend) budget() *resilience.RetryBudget {
+	if b.res == nil {
+		return nil
+	}
+	return b.res.Budget
+}
+
+func (b *HTTPBackend) hedger() *resilience.Hedger {
+	if b.res == nil {
+		return nil
+	}
+	return b.res.Hedger
+}
+
+// record reports one answered-or-failed request to the breaker and, on
+// success, credits the retry budget.
+func (b *HTTPBackend) record(err error) {
+	if b.res == nil {
+		return
+	}
+	if b.res.Breaker != nil {
+		b.res.Breaker.Record(err)
+	}
+	if err == nil {
+		b.res.Budget.Deposit()
+	}
 }
 
 // NewHTTPBackend returns a Backend rooted at baseURL (the directory that
@@ -72,19 +127,45 @@ func (b *HTTPBackend) objectURL(name string) string {
 }
 
 // retryable reports whether a failed attempt is worth repeating: transport
-// errors and server-side 5xx are transient; 4xx are definitive.
+// errors, server-side 5xx, and 429 shedding are transient; other 4xx are
+// definitive.
 func retryable(status int, err error) bool {
 	if err != nil {
 		return true
 	}
-	return status >= 500
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// retryAfterWait parses a Retry-After header as delta-seconds or an
+// HTTP-date; 0 when absent or unparseable.
+func retryAfterWait(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do issues one request with the retry budget. On success the caller owns
 // the response body. want lists the statuses that count as success; any
 // other non-retryable status is returned as a *httpStatusError.
+//
+// With a resilience set attached, every request first asks the breaker
+// (open ⇒ immediate ErrBackendUnavailable wrapping resilience.ErrOpen),
+// every retry is funded by the shared budget (empty ⇒ the attempt loop is
+// abandoned as budget-exhausted), and a 429/503 Retry-After header replaces
+// the linear backoff, capped at maxServerBackoff and the context deadline.
 func (b *HTTPBackend) do(ctx context.Context, method, u string, rangeHdr string, want ...int) (*http.Response, error) {
 	var lastErr error
+	var wait time.Duration // server-directed backoff from Retry-After
 	for attempt := 0; attempt < b.attempts; attempt++ {
 		// A canceled context aborts the budget immediately and surfaces
 		// ctx.Err() unmarked: cancellation is the caller's decision, not a
@@ -93,14 +174,32 @@ func (b *HTTPBackend) do(ctx context.Context, method, u string, rangeHdr string,
 			return nil, err
 		}
 		if attempt > 0 {
-			// Deterministic linear backoff: long enough to skate over a
-			// broken keep-alive connection, short enough for tests.
+			if !b.budget().Withdraw() {
+				return nil, backendErrf("%s %s: %w after %d attempts, last: %v",
+					method, u, resilience.ErrBudgetExhausted, attempt, lastErr)
+			}
+			// Server-directed wait when the last response carried
+			// Retry-After, otherwise a deterministic linear backoff: long
+			// enough to skate over a broken keep-alive connection, short
+			// enough for tests.
+			d := wait
+			if d <= 0 {
+				d = time.Duration(attempt) * 10 * time.Millisecond
+			} else if d > maxServerBackoff {
+				d = maxServerBackoff
+			}
+			if dl, ok := ctx.Deadline(); ok {
+				if rem := time.Until(dl); d > rem {
+					d = rem // never sleep past the attempt deadline
+				}
+			}
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(time.Duration(attempt) * 10 * time.Millisecond):
+			case <-time.After(d):
 			}
 		}
+		wait = 0
 		req, err := http.NewRequestWithContext(ctx, method, u, nil)
 		if err != nil {
 			return nil, backendErrf("%s %s: %w", method, u, err)
@@ -108,19 +207,38 @@ func (b *HTTPBackend) do(ctx context.Context, method, u string, rangeHdr string,
 		if rangeHdr != "" {
 			req.Header.Set("Range", rangeHdr)
 		}
+		if br := b.breaker(); br != nil {
+			if aerr := br.Allow(); aerr != nil {
+				return nil, backendErrf("%s %s: %w", method, u, aerr)
+			}
+		}
 		resp, err := b.client.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
+				// Release a granted probe without a verdict: caller-side
+				// cancellation says nothing about the dependency.
+				if br := b.breaker(); br != nil {
+					br.Cancel()
+				}
 				return nil, ctx.Err()
 			}
+			b.record(err)
 			lastErr = err
 			continue
+		}
+		// The server answered: 5xx and 429 count against the breaker,
+		// anything else (including 404) is evidence of health.
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			b.record(fmt.Errorf("%s", resp.Status))
+		} else {
+			b.record(nil)
 		}
 		for _, w := range want {
 			if resp.StatusCode == w {
 				return resp, nil
 			}
 		}
+		wait = retryAfterWait(resp)
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		switch {
@@ -187,7 +305,20 @@ func (b *HTTPBackend) List(ctx context.Context, dir string) ([]string, error) {
 }
 
 // Stats implements Backend.
-func (b *HTTPBackend) Stats() Stats { return b.c.stats(b.Scheme(), b.URL()) }
+func (b *HTTPBackend) Stats() Stats {
+	s := b.c.stats(b.Scheme(), b.URL())
+	if b.res != nil {
+		rs := b.res.Snapshot()
+		s.BreakerState = rs.BreakerState
+		s.BreakerTrips = rs.BreakerTrips
+		s.BreakerProbes = rs.BreakerProbes
+		s.RetryBudgetSpent = rs.BudgetSpent
+		s.RetryBudgetDenied = rs.BudgetDenied
+		s.HedgedReads = rs.Hedges
+		s.HedgeWins = rs.HedgeWins
+	}
+	return s
+}
 
 // Close implements Backend.
 func (b *HTTPBackend) Close() error {
@@ -205,7 +336,35 @@ type httpObject struct {
 // ReadAt implements Object with a ranged GET per call. The reader filters
 // issue row- or slice-sized reads, so per-call overhead is amortized over
 // kilobytes — and the block cache turns repeat visits into memory copies.
+// With a hedger attached, a read that outlives the latency threshold races
+// a second identical GET; the attempts write private buffers so the loser
+// can finish (or be canceled) without touching the winner's result.
 func (o *httpObject) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
+	h := o.be.hedger()
+	if h == nil {
+		return o.readAt(ctx, p, off)
+	}
+	type ranged struct {
+		buf []byte
+		n   int
+		err error // io.EOF rides along with valid short reads
+	}
+	r, err := resilience.Hedge(ctx, h, func(ctx context.Context) (ranged, error) {
+		buf := make([]byte, len(p))
+		n, err := o.readAt(ctx, buf, off)
+		if err != nil && err != io.EOF {
+			return ranged{}, err
+		}
+		return ranged{buf, n, err}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	copy(p, r.buf[:r.n])
+	return r.n, r.err
+}
+
+func (o *httpObject) readAt(ctx context.Context, p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"haralick4d/internal/resilience"
 )
 
 // URLOptions tunes OpenURL and NewBackend.
@@ -29,6 +31,21 @@ type URLOptions struct {
 	// LocalMaxOpen bounds the local backend's file-descriptor cache; 0
 	// selects DefaultMaxOpenFiles, negative disables handle reuse.
 	LocalMaxOpen int
+	// Resilience attaches a pre-built — possibly shared — resilience set
+	// (circuit breaker, retry budget, hedger) to http(s) backends. The
+	// daemon passes per-host sets here so every job reading one host
+	// shares one breaker and one storm-proof retry budget.
+	Resilience *resilience.Set
+	// ResiliencePolicy builds a private set for this backend when
+	// Resilience is nil — the CLI path, parsed from -breaker,
+	// -retry-budget and -hedge-after. Nil (with Resilience nil) leaves the
+	// backend's plain retry loop untouched.
+	ResiliencePolicy *resilience.Policy
+	// ServeStale converts transport-unavailable positioned reads into
+	// ErrDegradedData, so a run with fault-policy skip-degraded rides out
+	// a backend brownout on cached blocks and reports the unreachable ROIs
+	// degraded instead of aborting. Header and index reads still abort.
+	ServeStale bool
 }
 
 // ParseURL splits and validates a dataset URL. Accepted forms:
@@ -95,6 +112,11 @@ func NewBackend(rawurl string, o *URLOptions) (Backend, error) {
 		if err != nil {
 			return nil, err
 		}
+		if o.Resilience != nil {
+			hb.SetResilience(o.Resilience)
+		} else if s := o.ResiliencePolicy.NewSet(); s != nil {
+			hb.SetResilience(s)
+		}
 		be = hb
 	}
 	if o.CacheBlocks > 0 {
@@ -107,6 +129,11 @@ func NewBackend(rawurl string, o *URLOptions) (Backend, error) {
 		return nil, fmt.Errorf("dataset: cache capacity %d blocks must not be negative", o.CacheBlocks)
 	} else if o.CacheBlockSize != 0 {
 		return nil, fmt.Errorf("dataset: cache block size set without a cache block budget")
+	}
+	if o.ServeStale {
+		// Outermost, above the cache: cached blocks keep serving during a
+		// brownout; only reads that need the sick backend degrade.
+		be = newStaleBackend(be)
 	}
 	return be, nil
 }

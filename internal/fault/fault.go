@@ -262,3 +262,50 @@ func (c *crashCtx) Recv() (filter.Msg, bool) {
 	}
 	return m, ok
 }
+
+// BlackoutTransport simulates a backend brownout on a request-count
+// schedule: after StartAfter requests have been answered, every request
+// fails with a transport error until FailN of them have died, then the
+// backend recovers and serves normally again. Counting requests instead of
+// wall-clock time keeps the fault window reproducible across machine speeds;
+// with FailN set effectively infinite the blackout is permanent, which is
+// how tests assert that a breaker + retry budget bound the total traffic
+// sent into a dead backend.
+type BlackoutTransport struct {
+	// Inner handles surviving requests; nil selects http.DefaultTransport.
+	Inner http.RoundTripper
+	// StartAfter is how many requests are answered before the blackout
+	// opens.
+	StartAfter int64
+	// FailN is how many requests die before the backend recovers.
+	FailN int64
+
+	oks   atomic.Int64
+	fails atomic.Int64
+}
+
+// RoundTrip implements http.RoundTripper.
+func (b *BlackoutTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if b.oks.Load() >= b.StartAfter && b.fails.Load() < b.FailN {
+		n := b.fails.Add(1)
+		if n <= b.FailN {
+			return nil, fmt.Errorf("request during blackout (%d/%d): %w", n, b.FailN, ErrInjected)
+		}
+	}
+	inner := b.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	resp, err := inner.RoundTrip(req)
+	if err == nil {
+		b.oks.Add(1)
+	}
+	return resp, err
+}
+
+// OKs reports how many requests the backend answered. A final value above
+// StartAfter proves requests succeeded after the blackout lifted.
+func (b *BlackoutTransport) OKs() int64 { return b.oks.Load() }
+
+// Failures reports how many requests the blackout killed.
+func (b *BlackoutTransport) Failures() int64 { return b.fails.Load() }

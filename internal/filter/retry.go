@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"strconv"
 	"time"
+
+	"haralick4d/internal/resilience"
 )
 
 // RetryPolicy hardens the TCP transport against transient network faults:
@@ -35,6 +37,18 @@ type RetryPolicy struct {
 	// Seed makes the backoff jitter deterministic for reproducible chaos
 	// tests. Zero seeds from the policy defaults (still deterministic).
 	Seed int64
+	// PairBudget configures a retry budget shared per ordered node pair:
+	// every redial and retransmission crossing one link — from any copy —
+	// draws from the same token bucket, so a dead peer is hit by a bounded
+	// number of retries no matter how many copies send to it. Nil leaves
+	// retries bounded only by MaxAttempts per operation.
+	PairBudget *resilience.BudgetConfig
+	// PairBreaker configures a circuit breaker per ordered node pair. An
+	// open link fast-fails sends before a sequence number is consumed; the
+	// send error fails the copy, which the failover machinery converts
+	// into redistribution to surviving copies instead of a redial loop.
+	// Nil disables.
+	PairBreaker *resilience.BreakerConfig
 }
 
 // enabled reports whether the policy asks for any retries.

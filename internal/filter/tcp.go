@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"haralick4d/internal/metrics"
+	"haralick4d/internal/resilience"
 )
 
 // RunTCP executes the graph with one loopback TCP endpoint per node:
@@ -121,6 +122,11 @@ type tcpTransport struct {
 	metMu sync.Mutex
 	mets  map[[2]int]*metrics.Conn
 
+	// Per ordered node pair resilience state (breaker + shared retry
+	// budget), created lazily when the retry policy configures either.
+	resMu sync.Mutex
+	res   map[[2]int]*resilience.Set
+
 	recvWG   sync.WaitGroup
 	closed   bool
 	closeErr error
@@ -133,11 +139,12 @@ type tcpConn struct {
 	mu  sync.Mutex
 	c   net.Conn // replaced in place on redial, under mu
 	cw  *countingWriter
-	enc *gob.Encoder  // CodecGob only; rebuilt on redial (the re-handshake)
-	buf []byte        // CodecBinary frame scratch, reused under mu
-	met *metrics.Conn // nil when metrics are disabled
-	seq uint64        // last stamped sequence number (retry mode)
-	rng *rand.Rand    // seeded backoff jitter, used under mu
+	enc *gob.Encoder    // CodecGob only; rebuilt on redial (the re-handshake)
+	buf []byte          // CodecBinary frame scratch, reused under mu
+	met *metrics.Conn   // nil when metrics are disabled
+	res *resilience.Set // pair breaker/budget; nil when not configured
+	seq uint64          // last stamped sequence number (retry mode)
+	rng *rand.Rand      // seeded backoff jitter, used under mu
 }
 
 func newTCPTransport(rt *runtime, nodes int, opts *Options) (*tcpTransport, error) {
@@ -147,6 +154,7 @@ func newTCPTransport(rt *runtime, nodes int, opts *Options) (*tcpTransport, erro
 		conns:   map[[2]int]*tcpConn{},
 		mets:    map[[2]int]*metrics.Conn{},
 		streams: map[[2]int]*pairStream{},
+		res:     map[[2]int]*resilience.Set{},
 	}
 	if opts != nil {
 		tr.retry = opts.Retry
@@ -183,6 +191,33 @@ func (tr *tcpTransport) connMetric(from, to int) *metrics.Conn {
 	return m
 }
 
+// pairRes returns the ordered node pair's shared resilience set, created on
+// first use, or nil when the retry policy configures neither a pair budget
+// nor a pair breaker. The set is shared by every copy sending over the
+// link, and by dial and envelope retries alike — that sharing is what makes
+// the retry cap storm-proof.
+func (tr *tcpTransport) pairRes(from, to int) *resilience.Set {
+	p := tr.retry
+	if p == nil || (p.PairBudget == nil && p.PairBreaker == nil) {
+		return nil
+	}
+	key := [2]int{from, to}
+	tr.resMu.Lock()
+	defer tr.resMu.Unlock()
+	s, ok := tr.res[key]
+	if !ok {
+		s = &resilience.Set{}
+		if p.PairBreaker != nil {
+			s.Breaker = resilience.NewBreaker(*p.PairBreaker)
+		}
+		if p.PairBudget != nil {
+			s.Budget = resilience.NewRetryBudget(p.PairBudget.Tokens, p.PairBudget.Ratio)
+		}
+		tr.res[key] = s
+	}
+	return s
+}
+
 // netReport snapshots per-connection activity for the run report, ordered by
 // (from, to) node pair.
 func (tr *tcpTransport) netReport() []metrics.ConnReport {
@@ -201,7 +236,7 @@ func (tr *tcpTransport) netReport() []metrics.ConnReport {
 	out := make([]metrics.ConnReport, 0, len(keys))
 	for _, k := range keys {
 		m := tr.mets[k]
-		out = append(out, metrics.ConnReport{
+		cr := metrics.ConnReport{
 			FromNode:     k[0],
 			ToNode:       k[1],
 			MsgsOut:      m.MsgsOut.Load(),
@@ -214,7 +249,19 @@ func (tr *tcpTransport) netReport() []metrics.ConnReport {
 			Redials:      m.Redials.Load(),
 			DupsDropped:  m.DupsDropped.Load(),
 			RecvErrors:   m.RecvErrors.Load(),
-		})
+		}
+		tr.resMu.Lock()
+		set := tr.res[k]
+		tr.resMu.Unlock()
+		if set != nil {
+			rs := set.Snapshot()
+			cr.BreakerState = rs.BreakerState
+			cr.BreakerTrips = rs.BreakerTrips
+			cr.BreakerProbes = rs.BreakerProbes
+			cr.BudgetSpent = rs.BudgetSpent
+			cr.BudgetDenied = rs.BudgetDenied
+		}
+		out = append(out, cr)
 	}
 	return out
 }
@@ -435,8 +482,11 @@ func (tr *tcpTransport) pairRNG(from, to int) *rand.Rand {
 }
 
 // dial establishes the raw socket for an ordered node pair, retrying with
-// backoff per the retry policy, and applies the fault-injection hook.
+// backoff per the retry policy, and applies the fault-injection hook. Dial
+// retries draw from the same pair budget as envelope retransmissions, and
+// each attempt's outcome feeds the pair breaker.
 func (tr *tcpTransport) dial(from, to int, rng *rand.Rand, met *metrics.Conn) (net.Conn, error) {
+	set := tr.pairRes(from, to)
 	attempts := 1
 	if tr.retry.enabled() {
 		attempts = tr.retry.MaxAttempts
@@ -444,6 +494,10 @@ func (tr *tcpTransport) dial(from, to int, rng *rand.Rand, met *metrics.Conn) (n
 	var lastErr error
 	for a := 1; a <= attempts; a++ {
 		if a > 1 {
+			if set != nil && !set.Budget.Withdraw() {
+				lastErr = fmt.Errorf("%w, last: %v", resilience.ErrBudgetExhausted, lastErr)
+				break
+			}
 			if met != nil {
 				met.Retries.Inc()
 			}
@@ -455,10 +509,19 @@ func (tr *tcpTransport) dial(from, to int, rng *rand.Rand, met *metrics.Conn) (n
 		}
 		conn, err := net.Dial("tcp", tr.addrs[to])
 		if err == nil {
+			if set != nil {
+				if set.Breaker != nil {
+					set.Breaker.Record(nil)
+				}
+				set.Budget.Deposit()
+			}
 			if tr.wrap != nil {
 				conn = tr.wrap(conn, from, to)
 			}
 			return conn, nil
+		}
+		if set != nil && set.Breaker != nil {
+			set.Breaker.Record(err)
 		}
 		lastErr = err
 	}
@@ -489,7 +552,7 @@ func (tr *tcpTransport) connTo(from, to int) (*tcpConn, error) {
 		return nil, err
 	}
 	cw := &countingWriter{w: conn}
-	c := &tcpConn{tr: tr, from: from, to: to, c: conn, cw: cw, met: met, rng: rng}
+	c := &tcpConn{tr: tr, from: from, to: to, c: conn, cw: cw, met: met, res: tr.pairRes(from, to), rng: rng}
 	if tr.codec != CodecBinary {
 		c.enc = gob.NewEncoder(cw)
 	}
@@ -517,6 +580,16 @@ func (tr *tcpTransport) deliver(from, to *copyState, m inMsg) error {
 	env := envelope{FromNode: from.node, ToFilter: to.filter, ToCopy: to.copyIdx, Port: m.port, EOS: m.eos, Payload: m.payload}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Ask the pair breaker before a sequence number is consumed: an
+	// abandoned envelope must not leave a gap in the pair stream for the
+	// receiver's resequencer to wait on. An open link fails the send
+	// immediately — the copy dies and failover redistributes its work —
+	// instead of burning redials against a dead peer.
+	if c.res != nil && c.res.Breaker != nil {
+		if err := c.res.Breaker.Allow(); err != nil {
+			return fmt.Errorf("filter: tcp link node %d->%d: %w", c.from, c.to, err)
+		}
+	}
 	if tr.retry.enabled() {
 		c.seq++
 		env.Seq = c.seq
@@ -561,12 +634,24 @@ func (c *tcpConn) writeEnvelope(env *envelope, to *copyState) error {
 	var lastErr error
 	for a := 1; a <= attempts; a++ {
 		if a > 1 {
+			// Every retransmission is funded by the pair's shared budget:
+			// when copies across the node have drained it, the send fails
+			// now rather than adding to the storm.
+			if c.res != nil && !c.res.Budget.Withdraw() {
+				lastErr = fmt.Errorf("%w, last: %v", resilience.ErrBudgetExhausted, lastErr)
+				break
+			}
 			if c.met != nil {
 				c.met.Retries.Inc()
 			}
 			select {
 			case <-time.After(p.backoff(a-1, c.rng)):
 			case <-c.tr.rt.done:
+				// Shutdown verdicts say nothing about the link; release a
+				// granted half-open probe without recording an outcome.
+				if c.res != nil && c.res.Breaker != nil {
+					c.res.Breaker.Cancel()
+				}
 				return errStopped
 			}
 			if err := c.redial(); err != nil {
@@ -579,8 +664,10 @@ func (c *tcpConn) writeEnvelope(env *envelope, to *copyState) error {
 			c.c.Close() // poison the socket so the next attempt redials
 			continue
 		}
+		c.recordLink(nil)
 		return nil
 	}
+	c.recordLink(lastErr)
 	verb := "write"
 	if !binary {
 		verb = "encode"
@@ -589,6 +676,21 @@ func (c *tcpConn) writeEnvelope(env *envelope, to *copyState) error {
 		return fmt.Errorf("filter: tcp send to %s[%d] failed after %d attempts: %w", to.filter, to.copyIdx, attempts, lastErr)
 	}
 	return fmt.Errorf("filter: tcp %s to %s[%d]: %w", verb, to.filter, to.copyIdx, lastErr)
+}
+
+// recordLink reports the envelope's final outcome to the pair breaker —
+// matching the Allow granted in deliver — and refunds the budget on
+// success.
+func (c *tcpConn) recordLink(err error) {
+	if c.res == nil {
+		return
+	}
+	if c.res.Breaker != nil {
+		c.res.Breaker.Record(err)
+	}
+	if err == nil {
+		c.res.Budget.Deposit()
+	}
 }
 
 // writeOnce performs a single framed write under the policy's send deadline.

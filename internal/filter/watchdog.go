@@ -27,6 +27,11 @@ type StalledCopy struct {
 	// Idle is how long the copy had shown no progress when the watchdog
 	// tripped.
 	Idle time.Duration
+	// LastProgress is the wall-clock time the copy's heartbeat last
+	// advanced — when reading a daemon log long after the fact, the
+	// absolute timestamp correlates with backend/peer events in a way the
+	// relative Idle cannot.
+	LastProgress time.Time
 }
 
 // StallError is the diagnostic the watchdog fails the run with. The most
@@ -58,7 +63,9 @@ func (e *StallError) Error() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s[%d] on node %d (%s %v)", s.Filter, s.Copy, s.Node, s.State, s.Idle.Round(time.Millisecond))
+		fmt.Fprintf(&b, "%s[%d] on node %d (%s %v, last progress %s)",
+			s.Filter, s.Copy, s.Node, s.State, s.Idle.Round(time.Millisecond),
+			s.LastProgress.Format("15:04:05.000"))
 	}
 	return b.String()
 }
@@ -153,7 +160,7 @@ func (rt *runtime) watchdog(timeout time.Duration, finished <-chan struct{}) {
 			}
 			e.Stalled = append(e.Stalled, StalledCopy{
 				Filter: st.filter, Copy: st.copyIdx, Node: st.node,
-				State: phaseName(ph), Idle: now.Sub(seen[i]),
+				State: phaseName(ph), Idle: now.Sub(seen[i]), LastProgress: seen[i],
 			})
 		}
 		sort.SliceStable(e.Stalled, func(a, b int) bool {

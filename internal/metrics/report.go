@@ -111,6 +111,14 @@ type ConnReport struct {
 	Redials     int64 `json:"redials,omitempty"`
 	DupsDropped int64 `json:"dups_dropped,omitempty"`
 	RecvErrors  int64 `json:"recv_errors,omitempty"`
+	// Link resilience counters, populated when the retry policy carries a
+	// pair breaker or budget: breaker state/trips/probes and shared-budget
+	// retries spent/denied for this ordered node pair.
+	BreakerState  string `json:"breaker_state,omitempty"`
+	BreakerTrips  int64  `json:"breaker_trips,omitempty"`
+	BreakerProbes int64  `json:"breaker_probes,omitempty"`
+	BudgetSpent   int64  `json:"budget_spent,omitempty"`
+	BudgetDenied  int64  `json:"budget_denied,omitempty"`
 }
 
 // BackendReport is one storage backend's I/O table entry: object opens,
@@ -128,6 +136,16 @@ type BackendReport struct {
 	CacheMisses     int64  `json:"cache_misses,omitempty"`
 	CacheEvictions  int64  `json:"cache_evictions,omitempty"`
 	CacheFetchBytes int64  `json:"cache_fetch_bytes,omitempty"`
+	// Resilience counters, populated when the backend carries a breaker,
+	// retry budget, hedger or serve-stale layer.
+	BreakerState      string `json:"breaker_state,omitempty"`
+	BreakerTrips      int64  `json:"breaker_trips,omitempty"`
+	BreakerProbes     int64  `json:"breaker_probes,omitempty"`
+	RetryBudgetSpent  int64  `json:"retry_budget_spent,omitempty"`
+	RetryBudgetDenied int64  `json:"retry_budget_denied,omitempty"`
+	HedgedReads       int64  `json:"hedged_reads,omitempty"`
+	HedgeWins         int64  `json:"hedge_wins,omitempty"`
+	StaleReads        int64  `json:"stale_reads,omitempty"`
 }
 
 // PathEntry is one filter's row of the critical-path summary: the mean
@@ -321,6 +339,10 @@ func (r *RunReport) String() string {
 				fmt.Fprintf(&b, "    retries=%d redials=%d dups-dropped=%d recv-errors=%d\n",
 					c.Retries, c.Redials, c.DupsDropped, c.RecvErrors)
 			}
+			if c.BreakerState != "" || c.BudgetSpent+c.BudgetDenied > 0 {
+				fmt.Fprintf(&b, "    breaker=%s trips=%d probes=%d budget-spent=%d budget-denied=%d\n",
+					c.BreakerState, c.BreakerTrips, c.BreakerProbes, c.BudgetSpent, c.BudgetDenied)
+			}
 		}
 	}
 	if len(r.Backends) > 0 {
@@ -332,6 +354,11 @@ func (r *RunReport) String() string {
 				be.Scheme, be.Opens, be.Reads, be.ReadBytes,
 				be.CacheHits, be.CacheMisses, be.CacheEvictions, be.CacheFetchBytes)
 			fmt.Fprintf(&b, "    url %s\n", be.URL)
+			if be.BreakerState != "" || be.HedgedReads+be.RetryBudgetSpent+be.RetryBudgetDenied+be.StaleReads > 0 {
+				fmt.Fprintf(&b, "    resilience breaker=%s trips=%d probes=%d budget-spent=%d budget-denied=%d hedged=%d hedge-wins=%d stale-reads=%d\n",
+					be.BreakerState, be.BreakerTrips, be.BreakerProbes,
+					be.RetryBudgetSpent, be.RetryBudgetDenied, be.HedgedReads, be.HedgeWins, be.StaleReads)
+			}
 		}
 	}
 	if r.Tuning != nil {

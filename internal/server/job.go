@@ -97,6 +97,16 @@ type Spec struct {
 	CacheBlocks    int    `json:"cache_blocks,omitempty"`
 	CacheBlockSize int    `json:"cache_block_size,omitempty"`
 	StallTimeout   string `json:"stall_timeout,omitempty"` // e.g. "2m"; empty = the daemon default
+	// DeadlineMS bounds the job's total runtime in milliseconds. The
+	// deadline is attached to the job's context when it is scheduled and
+	// propagates through the pipeline into every backend read; an expired
+	// job fails with error_kind "deadline_exceeded". 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// ServeStale lets a brownout of the job's HTTP backend degrade reads
+	// (served from the block cache where possible, reported as degraded
+	// ROIs otherwise) instead of failing the job. Requires fault_policy
+	// "skip-degraded".
+	ServeStale bool `json:"serve_stale,omitempty"`
 }
 
 // validate rejects a spec the runner could not execute, without touching
@@ -141,6 +151,14 @@ func (sp *Spec) validate() error {
 	}
 	if _, err := sp.stallTimeout(0); err != nil {
 		return err
+	}
+	if sp.DeadlineMS < 0 {
+		return fmt.Errorf("spec: deadline_ms must not be negative")
+	}
+	if sp.ServeStale {
+		if p, err := fault.ParsePolicy(sp.FaultPolicy); err != nil || p != fault.SkipDegraded {
+			return fmt.Errorf("spec: serve_stale requires fault_policy \"skip-degraded\"")
+		}
 	}
 	return nil
 }
@@ -336,7 +354,9 @@ func errKind(err error) string {
 		return "checkpoint_mismatch"
 	case errors.Is(err, checkpoint.ErrCorrupt):
 		return "checkpoint_corrupt"
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
 		return "canceled"
 	}
 	return "error"

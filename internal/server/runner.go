@@ -18,6 +18,7 @@ import (
 	"haralick4d/internal/filter"
 	"haralick4d/internal/metrics"
 	"haralick4d/internal/pipeline"
+	"haralick4d/internal/resilience"
 )
 
 // runInput is the immutable per-run view the scheduler hands the runner.
@@ -32,6 +33,7 @@ type runInput struct {
 	onProgress       func(metrics.Progress)
 
 	gate *grant
+	res  *resilience.Set // shared per-backend-host breaker/budget/hedger; nil = off
 }
 
 // runResult carries what the run produced back to the scheduler.
@@ -46,6 +48,8 @@ func runJob(ctx context.Context, in runInput) (runResult, error) {
 	uopts := &dataset.URLOptions{
 		CacheBlocks:    in.spec.CacheBlocks,
 		CacheBlockSize: in.spec.CacheBlockSize,
+		Resilience:     in.res,
+		ServeStale:     in.spec.ServeStale,
 	}
 	st, err := dataset.OpenURL(ctx, in.spec.Dataset, uopts)
 	if err != nil {

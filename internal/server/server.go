@@ -31,15 +31,18 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"haralick4d/internal/checkpoint"
 	"haralick4d/internal/metrics"
+	"haralick4d/internal/resilience"
 )
 
 // Config parameterizes a daemon.
@@ -73,6 +76,11 @@ type Config struct {
 	ProgressInterval time.Duration
 	// SyncInterval is the job journal's fsync cadence (default 1s).
 	SyncInterval time.Duration
+	// Resilience, when non-nil, arms circuit breakers / retry budgets /
+	// hedged reads for every job's remote backend, shared per backend host
+	// across jobs. A submit naming a host whose breaker is open is shed with
+	// 503 + Retry-After instead of admitted into a known brownout.
+	Resilience *resilience.Policy
 	// Logf sinks daemon logs (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -124,7 +132,8 @@ type Server struct {
 	jour *checkpoint.Log
 	gov  *governor
 	hub  *hub
-	wg   sync.WaitGroup // one per running job
+	res  *resilience.Registry // nil when Config.Resilience is off
+	wg   sync.WaitGroup       // one per running job
 }
 
 // New opens (or creates) the daemon state under cfg.StateDir, replays the
@@ -153,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 			JobWorkers:     cfg.JobWorkers,
 		}),
 		hub: newHub(),
+		res: resilience.NewRegistry(cfg.Resilience),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -279,7 +289,16 @@ func (s *Server) scheduleLocked() {
 		if j == nil || j.State != StateQueued {
 			continue
 		}
-		ctx, cancel := context.WithCancel(context.Background())
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if j.Spec.DeadlineMS > 0 {
+			// The job's wall-clock budget: the deadline context threads
+			// through pipeline.RunContext into every backend read, so an
+			// expired job fails with "deadline_exceeded" instead of hanging.
+			ctx, cancel = context.WithTimeout(context.Background(), time.Duration(j.Spec.DeadlineMS)*time.Millisecond)
+		} else {
+			ctx, cancel = context.WithCancel(context.Background())
+		}
 		j.State = StateRunning
 		j.reason = ""
 		j.cancel = cancel
@@ -298,9 +317,13 @@ func (s *Server) scheduleLocked() {
 		if j.Spec.checkpointable() {
 			in.ckptPath = filepath.Join(s.cfg.StateDir, fmt.Sprintf("job-%d.ckpt", j.ID))
 		}
+		in.res = s.resilienceFor(j.Spec.Dataset)
 		in.onProgress = func(p metrics.Progress) { s.setProgress(id, p) }
 		s.wg.Add(1)
-		go s.run(j, ctx, in)
+		go func() {
+			defer cancel() // release the deadline timer once the run ends
+			s.run(j, ctx, in)
+		}()
 	}
 }
 
@@ -389,6 +412,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := spec.validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if after, open := s.breakerOpenFor(spec.Dataset); open {
+		// Admission shedding: the spec's backend is in a known brownout —
+		// admitting the job would only burn a run slot failing fast.
+		w.Header().Set("Retry-After", strconv.Itoa(after))
+		httpError(w, http.StatusServiceUnavailable, "backend %s circuit open; retry in ~%ds", resilienceKey(spec.Dataset), after)
 		return
 	}
 	s.mu.Lock()
@@ -572,23 +602,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if draining {
 		fmt.Fprintln(w, "draining")
-		return
+	} else {
+		fmt.Fprintln(w, "ok")
 	}
-	fmt.Fprintln(w, "ok")
+	// One line per tracked backend so a probe (or a human) sees a brownout
+	// without parsing /stats JSON.
+	snap := s.res.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if st := snap[k]; st.BreakerState != "" {
+			fmt.Fprintf(w, "breaker %s: %s\n", k, st.BreakerState)
+		}
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	type stats struct {
-		Jobs      map[State]int `json:"jobs"`
-		QueueLen  int           `json:"queue_len"`
-		Running   int           `json:"running"`
-		MaxJobs   int           `json:"max_jobs"`
-		MaxQueue  int           `json:"max_queue"`
-		Draining  bool          `json:"draining"`
-		ShareRA   int           `json:"job_share_readahead"`
-		ShareWork int           `json:"job_share_workers"`
+		Jobs       map[State]int                  `json:"jobs"`
+		QueueLen   int                            `json:"queue_len"`
+		Running    int                            `json:"running"`
+		MaxJobs    int                            `json:"max_jobs"`
+		MaxQueue   int                            `json:"max_queue"`
+		Draining   bool                           `json:"draining"`
+		ShareRA    int                            `json:"job_share_readahead"`
+		ShareWork  int                            `json:"job_share_workers"`
+		Resilience map[string]resilience.SetStats `json:"resilience,omitempty"`
 	}
-	st := stats{Jobs: map[State]int{}}
+	st := stats{Jobs: map[State]int{}, Resilience: s.res.Snapshot()}
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		st.Jobs[j.State]++
@@ -601,6 +645,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	st.ShareRA, st.ShareWork, _ = s.gov.shares()
 	writeJSON(w, http.StatusOK, st)
+}
+
+// ---- resilience plumbing ----
+
+// resilienceKey maps a dataset URL to its shared-state registry key: the
+// backend origin for remote datasets, "" (no shared state) for local paths.
+func resilienceKey(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") {
+		return ""
+	}
+	return u.Scheme + "://" + u.Host
+}
+
+// resilienceFor returns the shared resilience set every job against this
+// dataset's backend host uses, or nil when resilience is off or the dataset
+// is local.
+func (s *Server) resilienceFor(rawurl string) *resilience.Set {
+	if s.res == nil {
+		return nil
+	}
+	key := resilienceKey(rawurl)
+	if key == "" {
+		return nil
+	}
+	return s.res.For(key)
+}
+
+// breakerOpenFor reports whether the dataset's backend breaker is currently
+// open, and if so how many whole seconds remain until its next probe (at
+// least 1, for a Retry-After header).
+func (s *Server) breakerOpenFor(rawurl string) (afterSec int, open bool) {
+	set := s.resilienceFor(rawurl)
+	if set == nil || set.Breaker == nil {
+		return 0, false
+	}
+	bs := set.Breaker.Snapshot()
+	if bs.State != resilience.StateOpen {
+		return 0, false
+	}
+	after := int(bs.ProbeIn / time.Second)
+	if after < 1 {
+		after = 1
+	}
+	return after, true
 }
 
 // ---- small helpers ----

@@ -74,14 +74,14 @@ func (b *HTTPBackend) hedger() *resilience.Hedger {
 	return b.res.Hedger
 }
 
-// record reports one answered-or-failed request to the breaker and, on
-// success, credits the retry budget.
-func (b *HTTPBackend) record(err error) {
+// record reports one answered-or-failed request to the breaker — under the
+// token its Allow granted — and, on success, credits the retry budget.
+func (b *HTTPBackend) record(tok resilience.Token, err error) {
 	if b.res == nil {
 		return
 	}
 	if b.res.Breaker != nil {
-		b.res.Breaker.Record(err)
+		b.res.Breaker.Record(tok, err)
 	}
 	if err == nil {
 		b.res.Budget.Deposit()
@@ -174,6 +174,17 @@ func (b *HTTPBackend) do(ctx context.Context, method, u string, rangeHdr string,
 			return nil, err
 		}
 		if attempt > 0 {
+			// An open breaker rejects the request at Allow anyway; fail fast
+			// before spending a shared budget token and sleeping the backoff,
+			// so a brownout doesn't drain the budget on doomed attempts. A
+			// probe-due breaker (ProbeIn elapsed) falls through so this retry
+			// can perform the half-open probe.
+			if br := b.breaker(); br != nil {
+				if bs := br.Snapshot(); bs.State == resilience.StateOpen && bs.ProbeIn > 0 {
+					return nil, backendErrf("%s %s: %w after %d attempts, last: %v",
+						method, u, resilience.ErrOpen, attempt, lastErr)
+				}
+			}
 			if !b.budget().Withdraw() {
 				return nil, backendErrf("%s %s: %w after %d attempts, last: %v",
 					method, u, resilience.ErrBudgetExhausted, attempt, lastErr)
@@ -207,8 +218,10 @@ func (b *HTTPBackend) do(ctx context.Context, method, u string, rangeHdr string,
 		if rangeHdr != "" {
 			req.Header.Set("Range", rangeHdr)
 		}
+		var tok resilience.Token
 		if br := b.breaker(); br != nil {
-			if aerr := br.Allow(); aerr != nil {
+			var aerr error
+			if tok, aerr = br.Allow(); aerr != nil {
 				return nil, backendErrf("%s %s: %w", method, u, aerr)
 			}
 		}
@@ -218,20 +231,20 @@ func (b *HTTPBackend) do(ctx context.Context, method, u string, rangeHdr string,
 				// Release a granted probe without a verdict: caller-side
 				// cancellation says nothing about the dependency.
 				if br := b.breaker(); br != nil {
-					br.Cancel()
+					br.Cancel(tok)
 				}
 				return nil, ctx.Err()
 			}
-			b.record(err)
+			b.record(tok, err)
 			lastErr = err
 			continue
 		}
 		// The server answered: 5xx and 429 count against the breaker,
 		// anything else (including 404) is evidence of health.
 		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
-			b.record(fmt.Errorf("%s", resp.Status))
+			b.record(tok, fmt.Errorf("%s", resp.Status))
 		} else {
-			b.record(nil)
+			b.record(tok, nil)
 		}
 		for _, w := range want {
 			if resp.StatusCode == w {
@@ -342,29 +355,37 @@ type httpObject struct {
 func (o *httpObject) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
 	h := o.be.hedger()
 	if h == nil {
-		return o.readAt(ctx, p, off)
+		return o.readAt(ctx, p, off, &o.be.c)
 	}
 	type ranged struct {
 		buf []byte
 		n   int
-		err error // io.EOF rides along with valid short reads
+		err error     // io.EOF rides along with valid short reads
+		io  *counters // the attempt's private I/O tally
 	}
 	r, err := resilience.Hedge(ctx, h, func(ctx context.Context) (ranged, error) {
 		buf := make([]byte, len(p))
-		n, err := o.readAt(ctx, buf, off)
+		var c counters
+		n, err := o.readAt(ctx, buf, off, &c)
 		if err != nil && err != io.EOF {
 			return ranged{}, err
 		}
-		return ranged{buf, n, err}, nil
+		return ranged{buf, n, err, &c}, nil
 	})
 	if err != nil {
 		return 0, err
 	}
+	// Only the winning attempt's I/O counts in the backend report: the
+	// loser's transfer never reaches a caller, and counting both would make
+	// reads/bytes stop reconciling with data returned (HedgeWins already
+	// tallies the race itself).
+	o.be.c.reads.Add(r.io.reads.Load())
+	o.be.c.readBytes.Add(r.io.readBytes.Load())
 	copy(p, r.buf[:r.n])
 	return r.n, r.err
 }
 
-func (o *httpObject) readAt(ctx context.Context, p []byte, off int64) (int, error) {
+func (o *httpObject) readAt(ctx context.Context, p []byte, off int64, c *counters) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -390,8 +411,8 @@ func (o *httpObject) readAt(ctx context.Context, p []byte, off int64) (int, erro
 		}
 	}
 	n, err := io.ReadFull(resp.Body, p)
-	o.be.c.reads.Add(1)
-	o.be.c.readBytes.Add(int64(n))
+	c.reads.Add(1)
+	c.readBytes.Add(int64(n))
 	if err == io.ErrUnexpectedEOF {
 		err = io.EOF // short object: io.ReaderAt reports EOF with the partial read
 	} else if err != nil {

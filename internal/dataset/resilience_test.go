@@ -223,6 +223,11 @@ func TestHTTPHedgedRead(t *testing.T) {
 	if st.HedgedReads != 1 || st.HedgeWins != 1 {
 		t.Fatalf("hedged=%d wins=%d, want 1/1", st.HedgedReads, st.HedgeWins)
 	}
+	// Only the winning attempt's I/O may reach the backend report: one
+	// read of 8 bytes, no matter how the race resolved.
+	if st.Reads != 1 || st.ReadBytes != 8 {
+		t.Fatalf("reads=%d bytes=%d after hedged read, want 1/8 (winner only)", st.Reads, st.ReadBytes)
+	}
 }
 
 // TestServeStaleConvertsUnavailable: with ServeStale on, an unreachable

@@ -511,7 +511,7 @@ func (tr *tcpTransport) dial(from, to int, rng *rand.Rand, met *metrics.Conn) (n
 		if err == nil {
 			if set != nil {
 				if set.Breaker != nil {
-					set.Breaker.Record(nil)
+					set.Breaker.Record(resilience.Token{}, nil)
 				}
 				set.Budget.Deposit()
 			}
@@ -521,7 +521,7 @@ func (tr *tcpTransport) dial(from, to int, rng *rand.Rand, met *metrics.Conn) (n
 			return conn, nil
 		}
 		if set != nil && set.Breaker != nil {
-			set.Breaker.Record(err)
+			set.Breaker.Record(resilience.Token{}, err)
 		}
 		lastErr = err
 	}
@@ -585,9 +585,11 @@ func (tr *tcpTransport) deliver(from, to *copyState, m inMsg) error {
 	// receiver's resequencer to wait on. An open link fails the send
 	// immediately — the copy dies and failover redistributes its work —
 	// instead of burning redials against a dead peer.
+	var tok resilience.Token
 	if c.res != nil && c.res.Breaker != nil {
-		if err := c.res.Breaker.Allow(); err != nil {
-			return fmt.Errorf("filter: tcp link node %d->%d: %w", c.from, c.to, err)
+		var aerr error
+		if tok, aerr = c.res.Breaker.Allow(); aerr != nil {
+			return fmt.Errorf("filter: tcp link node %d->%d: %w", c.from, c.to, aerr)
 		}
 	}
 	if tr.retry.enabled() {
@@ -599,7 +601,7 @@ func (tr *tcpTransport) deliver(from, to *copyState, m inMsg) error {
 	if c.met != nil {
 		start = time.Now()
 	}
-	if err := c.writeEnvelope(&env, to); err != nil {
+	if err := c.writeEnvelope(&env, to, tok); err != nil {
 		return err
 	}
 	if c.met != nil {
@@ -614,7 +616,7 @@ func (tr *tcpTransport) deliver(from, to *copyState, m inMsg) error {
 // enabled a failed write closes the socket, backs off, redials, and
 // retransmits the same envelope (same sequence number) over the fresh
 // connection; the receiver's pair resequencer drops any duplicate.
-func (c *tcpConn) writeEnvelope(env *envelope, to *copyState) error {
+func (c *tcpConn) writeEnvelope(env *envelope, to *copyState, tok resilience.Token) error {
 	p := c.tr.retry
 	binary := c.tr.codec == CodecBinary
 	if binary {
@@ -650,7 +652,7 @@ func (c *tcpConn) writeEnvelope(env *envelope, to *copyState) error {
 				// Shutdown verdicts say nothing about the link; release a
 				// granted half-open probe without recording an outcome.
 				if c.res != nil && c.res.Breaker != nil {
-					c.res.Breaker.Cancel()
+					c.res.Breaker.Cancel(tok)
 				}
 				return errStopped
 			}
@@ -664,10 +666,10 @@ func (c *tcpConn) writeEnvelope(env *envelope, to *copyState) error {
 			c.c.Close() // poison the socket so the next attempt redials
 			continue
 		}
-		c.recordLink(nil)
+		c.recordLink(tok, nil)
 		return nil
 	}
-	c.recordLink(lastErr)
+	c.recordLink(tok, lastErr)
 	verb := "write"
 	if !binary {
 		verb = "encode"
@@ -681,12 +683,12 @@ func (c *tcpConn) writeEnvelope(env *envelope, to *copyState) error {
 // recordLink reports the envelope's final outcome to the pair breaker —
 // matching the Allow granted in deliver — and refunds the budget on
 // success.
-func (c *tcpConn) recordLink(err error) {
+func (c *tcpConn) recordLink(tok resilience.Token, err error) {
 	if c.res == nil {
 		return
 	}
 	if c.res.Breaker != nil {
-		c.res.Breaker.Record(err)
+		c.res.Breaker.Record(tok, err)
 	}
 	if err == nil {
 		c.res.Budget.Deposit()

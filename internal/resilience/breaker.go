@@ -76,10 +76,19 @@ type Breaker struct {
 	fails    int    // failures currently in window
 	consec   int    // consecutive failures since last success
 	openedAt time.Time
-	probing  bool // a half-open probe is in flight
+	probing  bool   // a half-open probe is in flight
+	probeGen uint64 // identity of the in-flight probe, monotonic
 
 	trips  atomic.Int64
 	probes atomic.Int64
+}
+
+// Token identifies one granted Allow so the matching Record (or Cancel) can
+// be told apart from stragglers — calls admitted while the breaker was still
+// closed whose outcomes arrive after a trip. The zero Token marks a call
+// that never asked permission (Record-without-Allow) and is never a probe.
+type Token struct {
+	probe uint64 // nonzero ⇒ this call was admitted as the half-open probe
 }
 
 // NewBreaker builds a closed breaker from cfg (zero fields defaulted).
@@ -92,42 +101,57 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	}
 }
 
-// Allow asks permission for one call. It returns nil when the call may
-// proceed (closed, or admitted as the half-open probe) and ErrOpen when the
-// caller must fast-fail. Every nil return must be matched by exactly one
-// Record with the call's outcome.
-func (b *Breaker) Allow() error {
+// Allow asks permission for one call. It returns a nil error when the call
+// may proceed (closed, or admitted as the half-open probe) and ErrOpen when
+// the caller must fast-fail. Every nil return must be matched by exactly one
+// Record (or Cancel) carrying the returned Token.
+func (b *Breaker) Allow() (Token, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case StateClosed:
-		return nil
+		return Token{}, nil
 	case StateOpen:
 		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.OpenFor {
-			return ErrOpen
+			return Token{}, ErrOpen
 		}
 		b.state = StateHalfOpen
-		b.probing = true
-		b.probes.Add(1)
-		return nil
+		return b.admitProbeLocked(), nil
 	default: // half-open
 		if b.probing {
-			return ErrOpen
+			return Token{}, ErrOpen
 		}
-		b.probing = true
-		b.probes.Add(1)
-		return nil
+		return b.admitProbeLocked(), nil
 	}
 }
 
-// Record reports one call's outcome (nil = success). It is also legal to
-// Record without a preceding Allow — e.g. a first-attempt send that needed
-// no permission — and such outcomes feed the same trip conditions.
-func (b *Breaker) Record(err error) {
+// admitProbeLocked grants the half-open probe slot. Caller holds b.mu.
+func (b *Breaker) admitProbeLocked() Token {
+	b.probing = true
+	b.probeGen++
+	b.probes.Add(1)
+	return Token{probe: b.probeGen}
+}
+
+// Record reports one call's outcome (nil = success) under the Token its
+// Allow returned. It is also legal to Record with the zero Token and no
+// preceding Allow — e.g. a first-attempt send that needed no permission —
+// and such outcomes feed the same trip conditions while closed. In
+// half-open, only the in-flight probe's Token may decide the transition:
+// a straggler admitted before the trip that finishes after a probe was
+// granted (say, an HTTP call slower than OpenFor) is ignored, so a stale
+// success cannot close the breaker without the dependency having actually
+// been re-probed.
+func (b *Breaker) Record(t Token, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case StateHalfOpen:
+		if !b.probing || t.probe != b.probeGen {
+			// Straggler (or a canceled probe's late echo); its outcome is
+			// stale and the real probe is still pending.
+			return
+		}
 		b.probing = false
 		if err != nil {
 			b.reopen()
@@ -183,11 +207,12 @@ func (b *Breaker) close() {
 
 // Cancel releases a granted Allow without recording an outcome — for calls
 // abandoned by caller-side cancellation, which says nothing about the
-// dependency's health. In half-open it re-arms the probe slot so the next
-// Allow becomes the probe.
-func (b *Breaker) Cancel() {
+// dependency's health. When the canceled call held the in-flight probe, the
+// probe slot is re-armed so the next Allow becomes the probe; canceling a
+// non-probe call is a no-op.
+func (b *Breaker) Cancel(t Token) {
 	b.mu.Lock()
-	if b.state == StateHalfOpen {
+	if b.state == StateHalfOpen && t.probe != 0 && t.probe == b.probeGen {
 		b.probing = false
 	}
 	b.mu.Unlock()

@@ -32,22 +32,24 @@ func TestBreakerConsecutiveTrip(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(0, 0)}
 	b := NewBreaker(BreakerConfig{ConsecFails: 3, OpenFor: time.Second, Clock: clk.Now})
 	for i := 0; i < 2; i++ {
-		if err := b.Allow(); err != nil {
+		tok, err := b.Allow()
+		if err != nil {
 			t.Fatalf("closed breaker denied call %d: %v", i, err)
 		}
-		b.Record(errBoom)
+		b.Record(tok, errBoom)
 	}
 	if got := b.State(); got != StateClosed {
 		t.Fatalf("state after 2 failures = %s, want closed", got)
 	}
-	if err := b.Allow(); err != nil {
+	tok, err := b.Allow()
+	if err != nil {
 		t.Fatal(err)
 	}
-	b.Record(errBoom)
+	b.Record(tok, errBoom)
 	if got := b.State(); got != StateOpen {
 		t.Fatalf("state after 3rd consecutive failure = %s, want open", got)
 	}
-	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
 		t.Fatalf("open breaker Allow = %v, want ErrOpen", err)
 	}
 	if got := b.Snapshot().Trips; got != 1 {
@@ -60,22 +62,24 @@ func TestBreakerErrorRateTrip(t *testing.T) {
 	b := NewBreaker(BreakerConfig{ConsecFails: 100, Window: 8, ErrorRate: 0.5, OpenFor: time.Second, Clock: clk.Now})
 	// Alternate success/failure: 50% error rate, never 100 consecutive.
 	for i := 0; i < 7; i++ {
-		if err := b.Allow(); err != nil {
+		tok, err := b.Allow()
+		if err != nil {
 			t.Fatalf("call %d denied: %v", i, err)
 		}
 		if i%2 == 0 {
-			b.Record(nil)
+			b.Record(tok, nil)
 		} else {
-			b.Record(errBoom)
+			b.Record(tok, errBoom)
 		}
 	}
 	if got := b.State(); got != StateClosed {
 		t.Fatalf("state before window full = %s, want closed", got)
 	}
-	if err := b.Allow(); err != nil {
+	tok, err := b.Allow()
+	if err != nil {
 		t.Fatal(err)
 	}
-	b.Record(errBoom) // window now full at 4/8 failures = 50%
+	b.Record(tok, errBoom) // window now full at 4/8 failures = 50%
 	if got := b.State(); got != StateOpen {
 		t.Fatalf("state at 50%% window error rate = %s, want open", got)
 	}
@@ -84,48 +88,114 @@ func TestBreakerErrorRateTrip(t *testing.T) {
 func TestBreakerProbeRecovery(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(0, 0)}
 	b := NewBreaker(BreakerConfig{ConsecFails: 1, OpenFor: time.Second, Clock: clk.Now})
-	if err := b.Allow(); err != nil {
+	tok, err := b.Allow()
+	if err != nil {
 		t.Fatal(err)
 	}
-	b.Record(errBoom)
-	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+	b.Record(tok, errBoom)
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
 		t.Fatalf("Allow before OpenFor elapsed = %v, want ErrOpen", err)
 	}
 	clk.Advance(time.Second)
 	// First caller after the window becomes the probe...
-	if err := b.Allow(); err != nil {
+	probe, err := b.Allow()
+	if err != nil {
 		t.Fatalf("probe denied: %v", err)
 	}
 	// ...and concurrent callers keep fast-failing while it is in flight.
-	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
 		t.Fatalf("second caller during probe = %v, want ErrOpen", err)
 	}
-	b.Record(errBoom) // failed probe re-opens
+	b.Record(probe, errBoom) // failed probe re-opens
 	if got := b.State(); got != StateOpen {
 		t.Fatalf("state after failed probe = %s, want open", got)
 	}
 	clk.Advance(time.Second)
-	if err := b.Allow(); err != nil {
+	probe, err = b.Allow()
+	if err != nil {
 		t.Fatalf("second probe denied: %v", err)
 	}
-	b.Record(nil) // successful probe closes
+	b.Record(probe, nil) // successful probe closes
 	if got := b.State(); got != StateClosed {
 		t.Fatalf("state after successful probe = %s, want closed", got)
 	}
-	if err := b.Allow(); err != nil {
+	tok, err = b.Allow()
+	if err != nil {
 		t.Fatalf("closed breaker denied call: %v", err)
 	}
-	b.Record(nil)
+	b.Record(tok, nil)
 	st := b.Snapshot()
 	if st.Trips != 2 || st.Probes != 2 {
 		t.Fatalf("trips=%d probes=%d, want 2/2", st.Trips, st.Probes)
 	}
 }
 
+// TestBreakerStragglerCannotDecideProbe: a call admitted while the breaker
+// was still closed whose outcome lands after a probe has been granted must
+// not be mistaken for the probe's verdict — a stale success must not close
+// the breaker, and the real probe's Record still decides.
+func TestBreakerStragglerCannotDecideProbe(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{ConsecFails: 1, OpenFor: time.Second, Clock: clk.Now})
+
+	// A slow request is admitted while closed...
+	straggler, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then a fast failure trips the breaker and the probe window passes.
+	tok, err := b.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Record(tok, errBoom)
+	clk.Advance(time.Second)
+	probe, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe denied: %v", err)
+	}
+
+	// The straggler completes (successfully!) while the probe is in flight:
+	// it must neither close the breaker nor release the probe slot.
+	b.Record(straggler, nil)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after straggler success = %s, want half-open", got)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow while the real probe is in flight = %v, want ErrOpen", err)
+	}
+
+	// The probe's own verdict still decides the transition.
+	b.Record(probe, errBoom)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+
+	// Same for Cancel: a canceled non-probe call must not re-arm the slot.
+	clk.Advance(time.Second)
+	probe, err = b.Allow()
+	if err != nil {
+		t.Fatalf("second probe denied: %v", err)
+	}
+	b.Cancel(Token{}) // straggler-style cancel: no-op
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow after non-probe Cancel = %v, want ErrOpen (probe still in flight)", err)
+	}
+	b.Cancel(probe) // the probe's own cancel re-arms the slot
+	probe, err = b.Allow()
+	if err != nil {
+		t.Fatalf("re-armed probe denied: %v", err)
+	}
+	b.Record(probe, nil)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+}
+
 func TestBreakerProbeInSnapshot(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(100, 0)}
 	b := NewBreaker(BreakerConfig{ConsecFails: 1, OpenFor: 4 * time.Second, Clock: clk.Now})
-	b.Record(errBoom)
+	b.Record(Token{}, errBoom)
 	clk.Advance(time.Second)
 	st := b.Snapshot()
 	if st.State != StateOpen || st.ProbeIn != 3*time.Second {
@@ -150,7 +220,8 @@ func TestBreakerStressRace(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < callsPerWorker; i++ {
-				if err := b.Allow(); err != nil {
+				tok, err := b.Allow()
+				if err != nil {
 					if !errors.Is(err, ErrOpen) {
 						t.Errorf("Allow returned unexpected error: %v", err)
 						return
@@ -161,9 +232,9 @@ func TestBreakerStressRace(t *testing.T) {
 					continue
 				}
 				if rng.Intn(3) == 0 {
-					b.Record(errBoom)
+					b.Record(tok, errBoom)
 				} else {
-					b.Record(nil)
+					b.Record(tok, nil)
 				}
 			}
 		}(int64(w) + 42)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -50,10 +51,11 @@ func TestSubmitShedsWhileBreakerOpen(t *testing.T) {
 	if set == nil || set.Breaker == nil {
 		t.Fatal("expected a breaker for an http dataset URL")
 	}
-	if err := set.Breaker.Allow(); err != nil {
+	tok, err := set.Breaker.Allow()
+	if err != nil {
 		t.Fatal(err)
 	}
-	set.Breaker.Record(errors.New("connection refused"))
+	set.Breaker.Record(tok, errors.New("connection refused"))
 	if st := set.Breaker.State(); st != resilience.StateOpen {
 		t.Fatalf("breaker state = %s, want open", st)
 	}
@@ -104,6 +106,47 @@ func TestSubmitShedsWhileBreakerOpen(t *testing.T) {
 	body := string(raw)
 	if !strings.Contains(body, "ok") || !strings.Contains(body, fmt.Sprintf("breaker %s: open", backend)) {
 		t.Fatalf("healthz = %q, want ok + breaker line", body)
+	}
+}
+
+// TestSubmitAdmitsWhenProbeDue: once an open breaker's OpenFor has elapsed,
+// submissions against that host are admitted again so the first job's reads
+// perform the half-open probe. The only Allow callers are running jobs'
+// backend reads, so shedding past that point would leave a host with no
+// in-flight jobs unprobed — and shed — forever (regression test for
+// permanent admission shedding after a brownout).
+func TestSubmitAdmitsWhenProbeDue(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	s, _ := newTestServer(t, Config{
+		MaxJobs: 1,
+		Resilience: &resilience.Policy{
+			Breaker: &resilience.BreakerConfig{ConsecFails: 1, OpenFor: 30 * time.Second, Clock: clock},
+		},
+	})
+
+	const dsURL = "http://127.0.0.1:9/study"
+	set := s.resilienceFor(dsURL)
+	tok, err := set.Breaker.Allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Breaker.Record(tok, errors.New("connection refused"))
+
+	if after, open := s.breakerOpenFor(dsURL); !open || after < 1 {
+		t.Fatalf("breakerOpenFor within OpenFor = (%d, %v), want shedding with positive Retry-After", after, open)
+	}
+
+	mu.Lock()
+	now = now.Add(30 * time.Second)
+	mu.Unlock()
+	if after, open := s.breakerOpenFor(dsURL); open {
+		t.Fatalf("breakerOpenFor after OpenFor elapsed = (%d, open), want admitted so the next job probes", after)
 	}
 }
 

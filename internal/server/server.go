@@ -682,7 +682,13 @@ func (s *Server) breakerOpenFor(rawurl string) (afterSec int, open bool) {
 		return 0, false
 	}
 	bs := set.Breaker.Snapshot()
-	if bs.State != resilience.StateOpen {
+	if bs.State != resilience.StateOpen || bs.ProbeIn <= 0 {
+		// Closed/half-open — or open with the probe due. An elapsed-open
+		// breaker reports "open" until an Allow promotes it, and the only
+		// Allow callers are admitted jobs' backend reads: once nothing is
+		// running against this host, shedding here would leave the breaker
+		// unprobed (and the host shed) forever. Admit the submission so its
+		// first read performs the half-open probe.
 		return 0, false
 	}
 	after := int(bs.ProbeIn / time.Second)
